@@ -1,0 +1,66 @@
+//! Microbenchmarks of the simulation kernel's hot paths: event calendar
+//! throughput and RNG stream draws — the operations every simulated TU
+//! exercises thousands of times.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scan_sim::{Calendar, SimDuration, SimRng, SimTime};
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cal: Calendar<u64> = Calendar::with_capacity(n);
+                // Interleaved times exercise heap reordering.
+                for i in 0..n {
+                    let t = ((i * 2_654_435_761) % 1_000_000) as f64 / 1000.0;
+                    cal.schedule(SimTime::new(t), i as u64);
+                }
+                let mut sum = 0u64;
+                while let Some(ev) = cal.pop() {
+                    sum = sum.wrapping_add(ev.event);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hold_model(c: &mut Criterion) {
+    // The classic "hold" pattern: pop one, schedule one — steady-state
+    // event-loop throughput.
+    c.bench_function("calendar/hold_1024", |b| {
+        let mut cal: Calendar<u32> = Calendar::new();
+        let mut rng = SimRng::from_seed_u64(1);
+        for i in 0..1024 {
+            cal.schedule(SimTime::new(rng.uniform(0.0, 100.0)), i);
+        }
+        b.iter(|| {
+            let ev = cal.pop().expect("non-empty");
+            let next = ev.at + SimDuration::new(0.1 + (ev.event % 7) as f64);
+            cal.schedule(next, ev.event);
+            black_box(ev.at)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("exponential", |b| {
+        let mut rng = SimRng::from_seed_u64(2);
+        b.iter(|| black_box(rng.exponential(2.5)))
+    });
+    group.bench_function("truncated_normal", |b| {
+        let mut rng = SimRng::from_seed_u64(3);
+        b.iter(|| black_box(rng.truncated_normal(5.0, 1.0, 1.0)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_calendar, bench_hold_model, bench_rng
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks of the Data Sharders and the functional genomics path:
+//! record-boundary FASTQ sharding, SBAM round trips and batch alignment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scan_genomics::fastq::write_fastq;
+use scan_genomics::sam::{parse_sbam, write_sbam};
+use scan_genomics::shard::shard_fastq;
+use scan_genomics::{KmerIndex, ReadSimulator, ReferenceGenome};
+use scan_sim::SimRng;
+
+fn bench_fastq_shard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard/fastq");
+    for &n_reads in &[1_000usize, 10_000] {
+        let mut rng = SimRng::from_seed_u64(10);
+        let genome = ReferenceGenome::generate(&mut rng, 1, 50_000);
+        let sim = ReadSimulator::default();
+        let reads = sim.simulate(&mut rng, &genome, n_reads);
+        let buf = write_fastq(&reads);
+        group.throughput(Throughput::Bytes(buf.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_reads), &buf, |b, buf| {
+            b.iter(|| black_box(shard_fastq(buf, 64 * 1024).expect("valid").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sbam_roundtrip(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed_u64(11);
+    let genome = ReferenceGenome::generate(&mut rng, 1, 20_000);
+    let sim = ReadSimulator::default();
+    let reads = sim.simulate(&mut rng, &genome, 5_000);
+    let index = KmerIndex::build(&genome, 17);
+    let alignments = index.align_batch(&genome, &reads);
+    let mut group = c.benchmark_group("sbam");
+    group.throughput(Throughput::Elements(alignments.len() as u64));
+    group.bench_function("write_5000", |b| b.iter(|| black_box(write_sbam(&alignments).len())));
+    let buf = write_sbam(&alignments);
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    group.bench_function("parse_5000", |b| {
+        b.iter(|| black_box(parse_sbam(&buf).expect("valid").len()))
+    });
+    group.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed_u64(12);
+    let genome = ReferenceGenome::generate(&mut rng, 2, 50_000);
+    let index = KmerIndex::build(&genome, 17);
+    let sim = ReadSimulator::default();
+    let reads = sim.simulate(&mut rng, &genome, 2_000);
+    let mut group = c.benchmark_group("align");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    group.bench_function("batch_rayon_2000", |b| {
+        b.iter(|| black_box(index.align_batch(&genome, &reads).len()))
+    });
+    group.bench_function("sequential_2000", |b| {
+        b.iter(|| {
+            let n = reads.iter().map(|r| index.align_read(&genome, r)).count();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fastq_shard, bench_sbam_roundtrip, bench_alignment
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benchmarks of the knowledge-base query path: SPARQL parse + execute
+//! over stores of growing size — the Data Broker's per-decision cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scan_kb::ontology::iri::SCAN_NS;
+use scan_kb::{parse_query, KnowledgeBase, ProfileRecord};
+
+fn kb_with(n: usize) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    for i in 0..n {
+        kb.ingest(&ProfileRecord {
+            application: "GATK".into(),
+            stage: (i % 7 + 1) as u32,
+            input_gb: 1.0 + (i % 9) as f64,
+            threads: [1u32, 2, 4, 8, 16][i % 5],
+            ram_gb: 4.0,
+            e_time: 10.0 + i as f64 * 0.01,
+        });
+    }
+    kb
+}
+
+fn ranking_query() -> String {
+    format!(
+        "PREFIX scan: <{SCAN_NS}>
+         SELECT ?app ?size ?t WHERE {{
+             ?app a scan:Application .
+             ?app scan:inputFileSize ?size .
+             ?app scan:eTime ?t .
+             FILTER (?size > 0 && ?t > 0)
+         }} ORDER BY ASC(?t / ?size) LIMIT 25"
+    )
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = ranking_query();
+    c.bench_function("sparql/parse_ranking_query", |b| {
+        b.iter(|| black_box(parse_query(&text).expect("parses")))
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparql/execute");
+    let query = parse_query(&ranking_query()).expect("parses");
+    for &n in &[100usize, 1_000, 5_000] {
+        let kb = kb_with(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(query.execute(kb.ontology().store()).expect("runs").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_advice(c: &mut Criterion) {
+    // The full Data Broker decision: query + rank + clamp.
+    let kb = kb_with(1_000);
+    c.bench_function("kb/advise_chunk_1000_instances", |b| {
+        b.iter(|| black_box(kb.advise_chunk("GATK", 100.0)))
+    });
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let kb = kb_with(2_000);
+    c.bench_function("kb/stage_model_regression", |b| {
+        b.iter(|| black_box(kb.stage_model("GATK", 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_parse, bench_execute, bench_advice, bench_regression
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table II — "Per-pipeline-stage scalability factors".
+//!
+//! Prints the published `a_i, b_i, c_i` next to the values the knowledge
+//! base *re-derives* by least-squares regression over a synthetic
+//! profiling trace (§III-A.1's GATK study, §IV-1's "determined … by
+//! linear regression of offline profiling data"), at both the default and
+//! an elevated measurement-noise level.
+//!
+//! Usage: `cargo run --release -p scan-bench --bin table2`
+
+use scan_platform::broker::DataBroker;
+use scan_sim::SimRng;
+use scan_workload::gatk::{PipelineModel, PAPER_STAGE_FACTORS};
+
+fn show(noise: f64) {
+    let model = PipelineModel::paper();
+    let mut rng = SimRng::from_seed_u64(scan_bench::EXPERIMENT_SEED);
+    let broker = DataBroker::bootstrap(&model, noise, &mut rng);
+    println!("\nProfiling noise {:.0}% (relative σ):", noise * 100.0);
+    println!(
+        "{:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "stage", "a (pub)", "b (pub)", "c (pub)", "a (fit)", "b (fit)", "c (fit)", "Δa", "Δb", "Δc"
+    );
+    println!("{}", "-".repeat(96));
+    for (i, truth) in PAPER_STAGE_FACTORS.iter().enumerate() {
+        let fit = broker.learned_model().stages[i];
+        println!(
+            "{:>6} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} | {:>8.4} {:>8.4} {:>8.4}",
+            i + 1,
+            truth.a,
+            truth.b,
+            truth.c,
+            fit.a,
+            fit.b,
+            fit.c,
+            (fit.a - truth.a).abs(),
+            (fit.b - truth.b).abs(),
+            (fit.c - truth.c).abs(),
+        );
+    }
+}
+
+fn main() {
+    println!("Table II: per-pipeline-stage scalability factors");
+    println!("  published values vs. knowledge-base regression over profiling traces");
+    println!("  (profile grid: sizes 1-9 GB x threads 1-16 x 3 replicates per cell)");
+    show(0.0);
+    show(0.02);
+    show(0.10);
+    println!("\nShape criterion: the regression pipeline recovers Table II exactly at zero");
+    println!("noise and within a few percent at realistic measurement noise.");
+}

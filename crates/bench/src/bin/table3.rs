@@ -1,0 +1,52 @@
+//! Table III — "Miscellaneous simulation attributes fixed across all
+//! runs".
+//!
+//! Prints the configured fixed parameters next to the published values and
+//! verifies them programmatically (the build fails the table if any
+//! drift).
+//!
+//! Usage: `cargo run --release -p scan-bench --bin table3`
+
+use scan_cloud::instance::INSTANCE_SIZES;
+use scan_platform::config::FixedParams;
+
+fn main() {
+    let f = FixedParams::default();
+    println!("Table III: miscellaneous simulation attributes fixed across all runs\n");
+    let rows: Vec<(&str, String, String)> = vec![
+        ("Simulation time (TUs)", "10,000".into(), format!("{:.0}", f.sim_time_tu)),
+        ("Private tier core cost (CUs/TU)", "5".into(), format!("{:.0}", f.private_core_cost)),
+        ("Rmax (CUs)", "400".into(), format!("{:.0}", f.rmax)),
+        ("Rpenalty (CUs)", "15".into(), format!("{:.0}", f.rpenalty)),
+        ("Rscale (CUs/TU)", "15,000".into(), format!("{:.0}", f.rscale)),
+        (
+            "Possible instance sizes (cores)",
+            "1, 2, 4, 8, 16".into(),
+            INSTANCE_SIZES.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+        ),
+        ("Mean jobs per arrival event", "3".into(), format!("{:.0}", f.mean_jobs_per_arrival)),
+        ("Jobs per arrival variance", "2".into(), format!("{:.0}", f.jobs_per_arrival_variance)),
+        ("Mean job size (arbitrary units)", "5".into(), format!("{:.0}", f.mean_job_size)),
+        ("Job size variance", "1".into(), format!("{:.0}", f.job_size_variance)),
+        ("Private tier capacity (cores)", "624".into(), format!("{}", f.private_capacity_cores)),
+    ];
+    println!("{:<34} | {:>14} | {:>14}", "parameter", "paper", "configured");
+    println!("{}", "-".repeat(68));
+    let mut ok = true;
+    for (name, paper, ours) in &rows {
+        let matches = paper.replace(',', "") == ours.replace(',', "");
+        if !matches {
+            ok = false;
+        }
+        println!("{:<34} | {:>14} | {:>14} {}", name, paper, ours, if matches { "" } else { "  <-- MISMATCH" });
+    }
+    println!("\nReproduction-specific attributes (not in Table III; see EXPERIMENTS.md):");
+    println!("{:<34} | {:>14}", "GB per job size unit (calibrated)", format!("{:.1}", f.gb_per_size_unit));
+    println!("{:<34} | {:>14}", "Worker boot/reshape penalty (TU)", "0.5");
+    println!("{:<34} | {:>14}", "Private idle timeout (TU)", format!("{:.1}", f.idle_timeout_tu));
+    println!("{:<34} | {:>14}", "Public idle timeout (TU)", format!("{:.1}", f.public_idle_timeout_tu));
+    println!("{:<34} | {:>14}", "Planner overhead price factor", format!("{:.2}", f.overhead_price_factor));
+    println!("{:<34} | {:>14}", "Standing-pool headroom", format!("{:.2}", f.pool_headroom));
+    assert!(ok, "configured defaults drifted from Table III");
+    println!("\nAll Table III values match the paper.");
+}

@@ -1,0 +1,46 @@
+//! # scan-bench — the experiment harness
+//!
+//! One binary per evaluation artefact of the paper (run with
+//! `cargo run --release -p scan-bench --bin <name>`):
+//!
+//! | binary   | reproduces                                                  |
+//! |----------|-------------------------------------------------------------|
+//! | `table1` | Table I — the variable-parameter grid (validated + smoke)   |
+//! | `table2` | Table II — per-stage factors, published vs regression-learned |
+//! | `table3` | Table III — fixed attributes as configured                  |
+//! | `fig4`   | Fig. 4 — profit vs inter-arrival interval per scaling policy |
+//! | `fig5`   | Fig. 5 — reward-to-cost ratio vs total core-stages          |
+//! | `sweep`  | §IV-B — the full policy-permutation sweep                   |
+//!
+//! Criterion microbenches (`cargo bench -p scan-bench`) cover the hot
+//! kernels (event calendar, SPARQL evaluation, sharding, plan search) and
+//! reduced-horizon versions of the figure experiments, plus the ablation
+//! suite called out in DESIGN.md §8.
+//!
+//! Output conventions: plain-text tables with `mean ± σ` entries, exactly
+//! the series the paper plots.
+
+#![forbid(unsafe_code)]
+
+use scan_platform::config::{ScanConfig, VariableParams};
+use scan_platform::metrics::ReplicatedMetrics;
+use scan_platform::sweep::run_replicated;
+
+/// Default repetitions: the paper's "all measurements were repeated 10
+/// times".
+pub const PAPER_REPETITIONS: u64 = 10;
+
+/// The workspace-wide base seed for published experiments.
+pub const EXPERIMENT_SEED: u64 = 0x5CA4_2015;
+
+/// Runs one Table I cell with paper repetitions.
+pub fn run_cell(variable: VariableParams, sim_time: f64, reps: u64) -> ReplicatedMetrics {
+    let mut cfg = ScanConfig::new(variable, EXPERIMENT_SEED);
+    cfg.fixed.sim_time_tu = sim_time;
+    run_replicated(&cfg, reps)
+}
+
+/// Formats `mean ± σ` to two decimals.
+pub fn pm(stats: &scan_sim::stats::OnlineStats) -> String {
+    format!("{:9.2} ± {:7.2}", stats.mean(), stats.stddev())
+}

@@ -1,0 +1,127 @@
+//! Standalone cost ledger for experiment-level accounting.
+//!
+//! [`crate::provider::CloudProvider`] integrates infrastructure cost; the
+//! ledger here attributes cost and reward to *pipeline runs* so the
+//! platform can report the paper's headline metrics: mean profit per
+//! pipeline run (Fig. 4) and reward-to-cost ratio (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates rewards and costs over a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    total_reward: f64,
+    total_cost: f64,
+    completed_runs: u64,
+    /// Reward broken out per completed run (for distributional metrics).
+    run_rewards: Vec<f64>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed pipeline run and its reward.
+    pub fn record_run(&mut self, reward: f64) {
+        assert!(reward.is_finite(), "reward must be finite");
+        self.total_reward += reward;
+        self.completed_runs += 1;
+        self.run_rewards.push(reward);
+    }
+
+    /// Sets the total infrastructure cost (taken from the provider at the
+    /// end of the run).
+    pub fn settle_cost(&mut self, cost: f64) {
+        assert!(cost.is_finite() && cost >= 0.0, "cost must be finite and non-negative");
+        self.total_cost = cost;
+    }
+
+    /// Total reward earned.
+    pub fn total_reward(&self) -> f64 {
+        self.total_reward
+    }
+
+    /// Total infrastructure cost.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Completed pipeline runs.
+    pub fn completed_runs(&self) -> u64 {
+        self.completed_runs
+    }
+
+    /// Total profit: reward − cost. The quantity the scheduler maximises
+    /// ("Tasks are scheduled by a 'reward' algorithm with the aim to
+    /// maximise profit").
+    pub fn profit(&self) -> f64 {
+        self.total_reward - self.total_cost
+    }
+
+    /// Mean profit per completed pipeline run — Fig. 4's y-axis.
+    pub fn profit_per_run(&self) -> f64 {
+        if self.completed_runs == 0 {
+            0.0
+        } else {
+            self.profit() / self.completed_runs as f64
+        }
+    }
+
+    /// Reward-to-cost ratio — Fig. 5's y-axis (0 when cost is 0).
+    pub fn reward_to_cost(&self) -> f64 {
+        if self.total_cost <= 0.0 {
+            0.0
+        } else {
+            self.total_reward / self.total_cost
+        }
+    }
+
+    /// Per-run rewards (in completion order).
+    pub fn run_rewards(&self) -> &[f64] {
+        &self.run_rewards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profit_arithmetic() {
+        let mut l = CostLedger::new();
+        l.record_run(100.0);
+        l.record_run(250.0);
+        l.record_run(-30.0); // late job, negative reward
+        l.settle_cost(200.0);
+        assert_eq!(l.completed_runs(), 3);
+        assert!((l.total_reward() - 320.0).abs() < 1e-12);
+        assert!((l.profit() - 120.0).abs() < 1e-12);
+        assert!((l.profit_per_run() - 40.0).abs() < 1e-12);
+        assert!((l.reward_to_cost() - 1.6).abs() < 1e-12);
+        assert_eq!(l.run_rewards(), &[100.0, 250.0, -30.0]);
+    }
+
+    #[test]
+    fn empty_ledger_is_safe() {
+        let l = CostLedger::new();
+        assert_eq!(l.profit_per_run(), 0.0);
+        assert_eq!(l.reward_to_cost(), 0.0);
+        assert_eq!(l.profit(), 0.0);
+    }
+
+    #[test]
+    fn settle_cost_replaces() {
+        let mut l = CostLedger::new();
+        l.settle_cost(10.0);
+        l.settle_cost(25.0);
+        assert_eq!(l.total_cost(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_reward_rejected() {
+        CostLedger::new().record_run(f64::NAN);
+    }
+}

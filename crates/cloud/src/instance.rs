@@ -1,0 +1,78 @@
+//! Instance shapes: how many (virtual) CPU cores a worker VM carries.
+//!
+//! Table III: "Possible instance sizes (cores): 1, 2, 4, 8, 16".
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's instance catalogue.
+pub const INSTANCE_SIZES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// A validated instance size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceSize(u32);
+
+impl InstanceSize {
+    /// Wraps a core count if it is in the catalogue.
+    pub fn new(cores: u32) -> Option<Self> {
+        INSTANCE_SIZES.contains(&cores).then_some(InstanceSize(cores))
+    }
+
+    /// The smallest catalogue size that fits `cores` (e.g. a 5-thread plan
+    /// needs an 8-core instance), or the largest size if nothing fits.
+    pub fn fitting(cores: u32) -> Self {
+        for &s in &INSTANCE_SIZES {
+            if s >= cores {
+                return InstanceSize(s);
+            }
+        }
+        InstanceSize(*INSTANCE_SIZES.last().expect("catalogue is non-empty"))
+    }
+
+    /// Core count.
+    pub fn cores(self) -> u32 {
+        self.0
+    }
+
+    /// All sizes, smallest first.
+    pub fn all() -> impl Iterator<Item = InstanceSize> {
+        INSTANCE_SIZES.iter().map(|&c| InstanceSize(c))
+    }
+}
+
+impl std::fmt::Display for InstanceSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-core", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_sizes_valid() {
+        for c in INSTANCE_SIZES {
+            assert_eq!(InstanceSize::new(c).unwrap().cores(), c);
+        }
+        assert!(InstanceSize::new(3).is_none());
+        assert!(InstanceSize::new(0).is_none());
+        assert!(InstanceSize::new(32).is_none());
+    }
+
+    #[test]
+    fn fitting_rounds_up() {
+        assert_eq!(InstanceSize::fitting(1).cores(), 1);
+        assert_eq!(InstanceSize::fitting(3).cores(), 4);
+        assert_eq!(InstanceSize::fitting(5).cores(), 8);
+        assert_eq!(InstanceSize::fitting(9).cores(), 16);
+        assert_eq!(InstanceSize::fitting(16).cores(), 16);
+        // Oversized demand saturates at the largest shape.
+        assert_eq!(InstanceSize::fitting(64).cores(), 16);
+    }
+
+    #[test]
+    fn all_iterates_in_order() {
+        let v: Vec<u32> = InstanceSize::all().map(InstanceSize::cores).collect();
+        assert_eq!(v, vec![1, 2, 4, 8, 16]);
+    }
+}

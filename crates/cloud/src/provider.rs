@@ -1,0 +1,401 @@
+//! The provisioner: hiring, releasing and reshaping VMs against tier
+//! capacity — the piece of CELAR the SCAN Scheduler "issues scaling
+//! commands" to (§III-B).
+
+use crate::instance::InstanceSize;
+use crate::tier::{BillingMode, TierCatalog, TierId};
+use crate::vm::{Vm, VmId, VmState};
+use scan_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a hire request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HireError {
+    /// Every allowed tier is at capacity.
+    NoCapacity,
+}
+
+impl fmt::Display for HireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HireError::NoCapacity => write!(f, "no tier has capacity for the requested cores"),
+        }
+    }
+}
+
+impl std::error::Error for HireError {}
+
+/// The simulated cloud provider.
+#[derive(Debug, Clone)]
+pub struct CloudProvider {
+    catalog: TierCatalog,
+    vms: BTreeMap<VmId, Vm>,
+    cores_in_use: Vec<u32>, // per tier
+    next_id: u64,
+    /// Cost already incurred by released VMs (live VMs are integrated on
+    /// demand).
+    settled_cost: f64,
+    /// Total core·TU consumed by released VMs, per tier.
+    settled_core_tu_by_tier: Vec<f64>,
+    /// VMs ever hired (diagnostic).
+    hired_total: u64,
+}
+
+impl CloudProvider {
+    /// Creates a provider over a tier catalogue.
+    pub fn new(catalog: TierCatalog) -> Self {
+        let n = catalog.len();
+        CloudProvider {
+            catalog,
+            vms: BTreeMap::new(),
+            cores_in_use: vec![0; n],
+            next_id: 0,
+            settled_cost: 0.0,
+            settled_core_tu_by_tier: vec![0.0; n],
+            hired_total: 0,
+        }
+    }
+
+    /// The tier catalogue.
+    pub fn catalog(&self) -> &TierCatalog {
+        &self.catalog
+    }
+
+    /// Cores currently allocated on a tier.
+    pub fn cores_in_use(&self, tier: TierId) -> u32 {
+        self.cores_in_use[tier.0]
+    }
+
+    /// Free cores on a tier (`u32::MAX` for unbounded tiers).
+    pub fn free_cores(&self, tier: TierId) -> u32 {
+        match self.catalog.get(tier).capacity_cores {
+            Some(cap) => cap.saturating_sub(self.cores_in_use[tier.0]),
+            None => u32::MAX,
+        }
+    }
+
+    /// Whether a hire of `size` could succeed on `tier` right now.
+    pub fn has_capacity(&self, tier: TierId, size: InstanceSize) -> bool {
+        self.free_cores(tier) >= size.cores()
+    }
+
+    /// The cheapest tier (in catalogue preference order) that can host
+    /// `size` right now.
+    pub fn cheapest_available_tier(&self, size: InstanceSize) -> Option<TierId> {
+        self.catalog.iter().map(|(id, _)| id).find(|&id| self.has_capacity(id, size))
+    }
+
+    /// Hires a VM of `size` on the preferred tier (private first); it
+    /// starts booting at `now`. Returns the new VM's id and ready time.
+    pub fn hire(
+        &mut self,
+        size: InstanceSize,
+        now: SimTime,
+    ) -> Result<(VmId, SimTime), HireError> {
+        let tier = self.cheapest_available_tier(size).ok_or(HireError::NoCapacity)?;
+        self.hire_on(tier, size, now)
+    }
+
+    /// Hires on a specific tier.
+    pub fn hire_on(
+        &mut self,
+        tier: TierId,
+        size: InstanceSize,
+        now: SimTime,
+    ) -> Result<(VmId, SimTime), HireError> {
+        if !self.has_capacity(tier, size) {
+            return Err(HireError::NoCapacity);
+        }
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        let vm = Vm::hire(id, tier, size, now);
+        let ready_at = match vm.state {
+            VmState::Booting { ready_at } => ready_at,
+            _ => unreachable!("freshly hired VMs boot"),
+        };
+        self.cores_in_use[tier.0] += size.cores();
+        self.hired_total += 1;
+        self.vms.insert(id, vm);
+        Ok((id, ready_at))
+    }
+
+    /// Releases a VM: its cores return to the tier and its cost is
+    /// settled.
+    ///
+    /// # Panics
+    /// Panics on an unknown id or a busy VM.
+    pub fn release(&mut self, id: VmId, now: SimTime) {
+        let vm = self.vms.get_mut(&id).expect("release of unknown VM");
+        vm.release(now);
+        let cores = vm.size.cores();
+        let tier = vm.tier;
+        let span = vm.hired_span(now);
+        let t = self.catalog.get(tier);
+        let billed = match t.billing {
+            BillingMode::HiredTime => span,
+            BillingMode::BusyTime => vm.busy_span(now),
+        };
+        self.settled_cost += cores as f64 * t.cost_per_core_tu * billed.as_tu();
+        self.settled_core_tu_by_tier[tier.0] += cores as f64 * span.as_tu();
+        self.cores_in_use[tier.0] -= cores;
+        self.vms.remove(&id);
+    }
+
+    /// Reshapes an idle VM to `new_size` (paying the boot penalty).
+    /// Capacity accounting moves with the size change. Returns the ready
+    /// time, or `Err` if the tier cannot absorb a size increase.
+    pub fn reshape(
+        &mut self,
+        id: VmId,
+        new_size: InstanceSize,
+        now: SimTime,
+    ) -> Result<SimTime, HireError> {
+        let vm = self.vms.get_mut(&id).expect("reshape of unknown VM");
+        let old = vm.size.cores();
+        let new = new_size.cores();
+        let tier = vm.tier;
+        if new > old {
+            let extra = new - old;
+            let free = match self.catalog.get(tier).capacity_cores {
+                Some(cap) => cap.saturating_sub(self.cores_in_use[tier.0]),
+                None => u32::MAX,
+            };
+            if free < extra {
+                return Err(HireError::NoCapacity);
+            }
+        }
+        let ready = vm.reshape(new_size, now);
+        self.cores_in_use[tier.0] = self.cores_in_use[tier.0] + new - old;
+        Ok(ready)
+    }
+
+    /// Access a VM.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// Mutable access to a VM (to drive its task lifecycle).
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        self.vms.get_mut(&id)
+    }
+
+    /// Iterates over live VMs in id order (deterministic).
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// Number of live (not yet released) VMs.
+    pub fn live_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Total cost incurred up to `now`: settled cost of released VMs plus
+    /// the running cost of live ones. This is the paper's "cost function
+    /// … maps the number of machines currently active and their
+    /// configuration to the cost per unit time of keeping them running",
+    /// integrated over time.
+    pub fn total_cost(&self, now: SimTime) -> f64 {
+        let live: f64 = self
+            .vms
+            .values()
+            .map(|vm| {
+                let t = self.catalog.get(vm.tier);
+                let billed = match t.billing {
+                    BillingMode::HiredTime => vm.hired_span(now),
+                    BillingMode::BusyTime => vm.busy_span(now),
+                };
+                vm.size.cores() as f64 * t.cost_per_core_tu * billed.as_tu()
+            })
+            .sum();
+        self.settled_cost + live
+    }
+
+    /// Total core·TU consumed up to `now` (live + settled).
+    pub fn total_core_tu(&self, now: SimTime) -> f64 {
+        (0..self.catalog.len()).map(|i| self.core_tu_on_tier(TierId(i), now)).sum()
+    }
+
+    /// Core·TU consumed on one tier up to `now` (live + settled).
+    pub fn core_tu_on_tier(&self, tier: TierId, now: SimTime) -> f64 {
+        let live: f64 = self
+            .vms
+            .values()
+            .filter(|vm| vm.tier == tier)
+            .map(|vm| vm.size.cores() as f64 * vm.hired_span(now).as_tu())
+            .sum();
+        self.settled_core_tu_by_tier[tier.0] + live
+    }
+
+    /// Total VMs ever hired (diagnostic).
+    pub fn hired_total(&self) -> u64 {
+        self.hired_total
+    }
+
+    /// Current cost per TU of keeping all live VMs running.
+    pub fn burn_rate(&self) -> f64 {
+        self.vms
+            .values()
+            .map(|vm| vm.size.cores() as f64 * self.catalog.get(vm.tier).cost_per_core_tu)
+            .sum()
+    }
+
+    /// Idle live VMs whose idle span at `now` is at least `min_idle`,
+    /// in id order — candidates for release by the scaling policy.
+    pub fn idle_candidates(&self, now: SimTime, min_idle: SimDuration) -> Vec<VmId> {
+        let mut ids: Vec<VmId> = self
+            .vms
+            .values()
+            .filter(|vm| vm.is_idle() && vm.idle_span(now) >= min_idle)
+            .map(|vm| vm.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::TierCatalog;
+
+    fn provider() -> CloudProvider {
+        CloudProvider::new(TierCatalog::paper_hybrid(50.0))
+    }
+
+    fn sz(c: u32) -> InstanceSize {
+        InstanceSize::new(c).unwrap()
+    }
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn hire_prefers_private_until_full() {
+        let mut p = provider();
+        // 39 × 16 = 624 cores fill the private tier exactly.
+        for _ in 0..39 {
+            let (id, _) = p.hire(sz(16), t(0.0)).unwrap();
+            assert_eq!(p.vm(id).unwrap().tier, TierId(0));
+        }
+        assert_eq!(p.cores_in_use(TierId(0)), 624);
+        assert_eq!(p.free_cores(TierId(0)), 0);
+        // The 40th lands on the public tier.
+        let (id, _) = p.hire(sz(16), t(0.0)).unwrap();
+        assert_eq!(p.vm(id).unwrap().tier, TierId(1));
+    }
+
+    #[test]
+    fn private_only_catalog_can_exhaust() {
+        let mut p = CloudProvider::new(TierCatalog::new(vec![crate::tier::Tier::paper_private()]));
+        for _ in 0..39 {
+            p.hire(sz(16), t(0.0)).unwrap();
+        }
+        assert_eq!(p.hire(sz(1), t(0.0)), Err(HireError::NoCapacity));
+    }
+
+    #[test]
+    fn release_returns_cores_and_settles_cost() {
+        let mut p = provider();
+        let (id, ready) = p.hire(sz(8), t(0.0)).unwrap();
+        assert_eq!(ready, t(0.5));
+        assert_eq!(p.cores_in_use(TierId(0)), 8);
+        // Run a task for 1 TU: the private tier bills busy time only.
+        p.vm_mut(id).unwrap().finish_boot(ready);
+        p.vm_mut(id).unwrap().start_task(t(1.0));
+        p.vm_mut(id).unwrap().finish_task(t(2.0));
+        p.release(id, t(2.0));
+        assert_eq!(p.cores_in_use(TierId(0)), 0);
+        assert_eq!(p.live_count(), 0);
+        // 8 cores × 5 CU × 1 busy TU = 40.
+        assert!((p.total_cost(t(10.0)) - 40.0).abs() < 1e-9);
+        // Core·TU accounting still reports the hired span (2 TU × 8).
+        assert!((p.total_core_tu(t(10.0)) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_cost_integrates_continuously() {
+        let mut p = provider();
+        let (id, ready) = p.hire(sz(4), t(0.0)).unwrap();
+        // Busy-billed tier: nothing accrues while idle…
+        assert_eq!(p.total_cost(t(3.0)), 0.0);
+        // …and an open busy period accrues continuously.
+        p.vm_mut(id).unwrap().finish_boot(ready);
+        p.vm_mut(id).unwrap().start_task(t(1.0));
+        // 4 cores × 5 CU × 2 busy TU = 40.
+        assert!((p.total_cost(t(3.0)) - 40.0).abs() < 1e-9);
+        assert!((p.burn_rate() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn public_tier_bills_hired_time() {
+        let mut p = provider();
+        // Fill private, then hire public.
+        for _ in 0..39 {
+            p.hire(sz(16), t(0.0)).unwrap();
+        }
+        let (pub_id, _) = p.hire(sz(1), t(0.0)).unwrap();
+        assert_eq!(p.vm(pub_id).unwrap().tier, TierId(1));
+        // Private VMs are all idle (busy-billed → free); the public VM
+        // bills from hire: 1 core × 50 CU × 1 TU.
+        let cost = p.total_cost(t(1.0));
+        assert!((cost - 50.0).abs() < 1e-6, "{cost}");
+    }
+
+    #[test]
+    fn reshape_adjusts_capacity_accounting() {
+        let mut p = provider();
+        let (id, ready) = p.hire(sz(4), t(0.0)).unwrap();
+        p.vm_mut(id).unwrap().finish_boot(ready);
+        let ready2 = p.reshape(id, sz(16), t(1.0)).unwrap();
+        assert_eq!(ready2, t(1.5));
+        assert_eq!(p.cores_in_use(TierId(0)), 16);
+        p.vm_mut(id).unwrap().finish_boot(ready2);
+        // Shrink back.
+        let _ = p.reshape(id, sz(1), t(2.0)).unwrap();
+        assert_eq!(p.cores_in_use(TierId(0)), 1);
+    }
+
+    #[test]
+    fn reshape_respects_capacity() {
+        let mut p = CloudProvider::new(TierCatalog::new(vec![crate::tier::Tier {
+            name: "tiny".into(),
+            cost_per_core_tu: 1.0,
+            capacity_cores: Some(8),
+            billing: crate::tier::BillingMode::HiredTime,
+        }]));
+        let (id, ready) = p.hire(sz(8), t(0.0)).unwrap();
+        p.vm_mut(id).unwrap().finish_boot(ready);
+        assert_eq!(p.reshape(id, sz(16), t(1.0)), Err(HireError::NoCapacity));
+        // Unchanged on failure.
+        assert_eq!(p.vm(id).unwrap().size.cores(), 8);
+        assert_eq!(p.cores_in_use(TierId(0)), 8);
+    }
+
+    #[test]
+    fn idle_candidates_filter_by_span() {
+        let mut p = provider();
+        let (a, ra) = p.hire(sz(1), t(0.0)).unwrap();
+        let (b, rb) = p.hire(sz(1), t(0.0)).unwrap();
+        p.vm_mut(a).unwrap().finish_boot(ra);
+        p.vm_mut(b).unwrap().finish_boot(rb);
+        p.vm_mut(b).unwrap().start_task(t(1.0));
+        // At t=3, a has been idle 2.5 TU; b is busy.
+        let c = p.idle_candidates(t(3.0), SimDuration::new(2.0));
+        assert_eq!(c, vec![a]);
+        let none = p.idle_candidates(t(3.0), SimDuration::new(3.0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn vms_iteration_is_deterministic() {
+        let mut p = provider();
+        let mut expect = Vec::new();
+        for _ in 0..10 {
+            expect.push(p.hire(sz(1), t(0.0)).unwrap().0);
+        }
+        let got: Vec<VmId> = p.vms().map(|v| v.id).collect();
+        assert_eq!(got, expect);
+    }
+}

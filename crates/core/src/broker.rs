@@ -1,0 +1,192 @@
+//! The Data Broker (Fig. 2): knowledge base + data sharders + shared
+//! store.
+//!
+//! At platform start the broker is bootstrapped with an offline profiling
+//! trace (the §III-A.1 GATK study). It learns per-stage `(a, b, c)` models
+//! by regression over the knowledge base and hands the *learned* pipeline
+//! model to the scheduler — so scheduling genuinely runs on knowledge-base
+//! output, not the ground-truth table. At admission time it registers each
+//! job's dataset and its shards with the shared store and prices the
+//! staging delay each subtask pays.
+
+use scan_cloud::storage::{Dataset, SharedStore};
+use scan_kb::{KnowledgeBase, ProfileRecord};
+use scan_sim::{SimDuration, SimRng};
+use scan_workload::gatk::{PipelineModel, StageFactors};
+use scan_workload::job::Job;
+use scan_workload::profiletrace::generate_profile_trace;
+
+/// The Data Broker.
+#[derive(Debug, Clone)]
+pub struct DataBroker {
+    kb: KnowledgeBase,
+    store: SharedStore,
+    learned: PipelineModel,
+    truth: PipelineModel,
+}
+
+impl DataBroker {
+    /// Bootstraps the broker: generates the offline profiling trace from
+    /// the ground-truth `model` (with `noise` relative measurement error),
+    /// ingests it into the knowledge base, and learns the stage models the
+    /// scheduler will use.
+    pub fn bootstrap(model: &PipelineModel, noise: f64, rng: &mut SimRng) -> Self {
+        let mut kb = KnowledgeBase::new();
+        let trace = generate_profile_trace(model, "GATK", 3, noise, rng);
+        for rec in &trace {
+            kb.ingest(rec);
+        }
+        let learned = Self::learn_model(&kb, model);
+        DataBroker { kb, store: SharedStore::new(), learned, truth: model.clone() }
+    }
+
+    /// Learns a full pipeline model from the knowledge base, falling back
+    /// to the ground-truth factors for any stage without enough data.
+    fn learn_model(kb: &KnowledgeBase, truth: &PipelineModel) -> PipelineModel {
+        let stages = (0..truth.n_stages())
+            .map(|i| match kb.stage_model("GATK", (i + 1) as u32) {
+                Some(m) => StageFactors { a: m.a, b: m.b, c: m.c },
+                None => truth.stages[i],
+            })
+            .collect();
+        PipelineModel::new(stages, truth.gb_per_unit)
+    }
+
+    /// The knowledge-base-learned pipeline model.
+    pub fn learned_model(&self) -> &PipelineModel {
+        &self.learned
+    }
+
+    /// The ground-truth model (what the simulated world actually runs).
+    pub fn true_model(&self) -> &PipelineModel {
+        &self.truth
+    }
+
+    /// Read access to the knowledge base.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Ingests a live task log ("the SCAN keeps the log information of
+    /// each task scheduled to run in a cloud").
+    pub fn ingest_log(&mut self, record: &ProfileRecord) {
+        self.kb.ingest(record);
+    }
+
+    /// Re-learns the pipeline model from everything ingested so far
+    /// (long-term-adaptive refresh).
+    pub fn refresh_model(&mut self) {
+        self.learned = Self::learn_model(&self.kb, &self.truth);
+    }
+
+    /// Registers a job's input dataset and its stage-1 shards, returning
+    /// the shard paths.
+    pub fn register_job(&mut self, job: &Job, shards: u32) -> Vec<String> {
+        let size_gb = self.truth.units_to_gb(job.size_units);
+        let base = Dataset {
+            path: format!("/input/bam/job{}.bam", job.id.0),
+            size_gb,
+            format: "BAM".into(),
+        };
+        self.store.put(base.clone());
+        let plan = scan_genomics::shard::plan_shards(size_gb, size_gb / shards as f64);
+        self.store.put_shards(&base, &plan.shard_sizes)
+    }
+
+    /// Staging delay one subtask pays to pull `d_gb` from the shared
+    /// store before computing.
+    pub fn staging_time(&self, d_gb: f64) -> SimDuration {
+        self.store.model().transfer_time(d_gb)
+    }
+
+    /// The shared store (metrics, tests).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_workload::gatk::PAPER_STAGE_FACTORS;
+    use scan_workload::job::JobId;
+    use scan_sim::SimTime;
+
+    fn broker(noise: f64) -> DataBroker {
+        let model = PipelineModel::paper();
+        let mut rng = SimRng::from_seed_u64(42);
+        DataBroker::bootstrap(&model, noise, &mut rng)
+    }
+
+    #[test]
+    fn bootstrap_learns_close_to_truth() {
+        let b = broker(0.02);
+        for (i, truth) in PAPER_STAGE_FACTORS.iter().enumerate() {
+            let learned = b.learned_model().stages[i];
+            assert!(
+                (learned.a - truth.a).abs() < 0.1 * truth.a.abs().max(0.3),
+                "stage {} a: {} vs {}",
+                i + 1,
+                learned.a,
+                truth.a
+            );
+            assert!((learned.c - truth.c).abs() < 0.08, "stage {} c", i + 1);
+        }
+    }
+
+    #[test]
+    fn noiseless_bootstrap_is_exact() {
+        let b = broker(0.0);
+        for (i, truth) in PAPER_STAGE_FACTORS.iter().enumerate() {
+            let learned = b.learned_model().stages[i];
+            assert!((learned.a - truth.a).abs() < 1e-6);
+            assert!((learned.b - truth.b).abs() < 1e-6);
+            assert!((learned.c - truth.c).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn register_job_creates_shards() {
+        let mut b = broker(0.0);
+        let job = Job::new(JobId(7), 5.0, SimTime::ZERO);
+        let paths = b.register_job(&job, 4);
+        assert_eq!(paths.len(), 4);
+        assert!(b.store().get("/input/bam/job7.bam").is_some());
+        assert!(b.store().get(&paths[0]).is_some());
+        // Shards cover the 2 GB input.
+        let total: f64 = paths.iter().map(|p| b.store().get(p).unwrap().size_gb).sum();
+        assert!((total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_logs_refresh_the_model() {
+        let mut b = broker(0.0);
+        // Fabricate a world where stage 1 suddenly runs 2× slower and logs
+        // say so; after refresh the learned model must track it.
+        for d in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            for t in [1u32, 2, 4] {
+                let f = StageFactors { a: 0.70, b: 10.76, c: 0.89 };
+                for _ in 0..8 {
+                    b.ingest_log(&ProfileRecord {
+                        application: "GATK".into(),
+                        stage: 1,
+                        input_gb: d,
+                        threads: t,
+                        ram_gb: 4.0,
+                        e_time: f.threaded_time(t, d),
+                    });
+                }
+            }
+        }
+        b.refresh_model();
+        let a = b.learned_model().stages[0].a;
+        assert!(a > 0.45, "refreshed a should move toward 0.70, got {a}");
+    }
+
+    #[test]
+    fn staging_time_scales_with_size() {
+        let b = broker(0.0);
+        assert!(b.staging_time(4.0) > b.staging_time(1.0));
+        assert!(b.staging_time(0.0).as_tu() > 0.0, "latency floor");
+    }
+}

@@ -1,0 +1,361 @@
+//! Experiment configuration: Table III (fixed) × Table I (variable).
+
+use scan_sched::alloc::AllocationPolicy;
+use scan_sched::scaling::ScalingPolicy;
+use scan_workload::arrivals::ArrivalConfig;
+use scan_workload::gatk::{PipelineModel, GB_PER_SIZE_UNIT};
+use scan_workload::reward::RewardFn;
+use serde::{Deserialize, Serialize};
+
+/// Table III — "miscellaneous simulation attributes fixed across all
+/// runs" — plus the platform knobs the paper fixes in prose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedParams {
+    /// Simulation horizon, TU (Table III: 10 000).
+    pub sim_time_tu: f64,
+    /// Private tier core cost, CU/TU (Table III: 5).
+    pub private_core_cost: f64,
+    /// Rmax, CU (Table III: 400).
+    pub rmax: f64,
+    /// Rpenalty, CU (Table III: 15).
+    pub rpenalty: f64,
+    /// Rscale, CU·TU (Table III: 15 000).
+    pub rscale: f64,
+    /// Mean jobs per arrival event (Table III: 3).
+    pub mean_jobs_per_arrival: f64,
+    /// Jobs-per-arrival variance (Table III: 2).
+    pub jobs_per_arrival_variance: f64,
+    /// Mean job size, units (Table III: 5).
+    pub mean_job_size: f64,
+    /// Job size variance (Table III: 1).
+    pub job_size_variance: f64,
+    /// Private tier capacity, cores (§IV-A: 624).
+    pub private_capacity_cores: u32,
+    /// GB of stage-1 input per job size unit (calibrated; see
+    /// `scan_workload::gatk::GB_PER_SIZE_UNIT`).
+    pub gb_per_size_unit: f64,
+    /// Idle-worker release timeout for private-tier workers, TU.
+    pub idle_timeout_tu: f64,
+    /// Idle-worker release timeout for public-tier workers, TU. Public
+    /// cores bill while hired, so they are released much faster.
+    pub public_idle_timeout_tu: f64,
+    /// Factor by which the plan optimiser inflates raw core prices to
+    /// account for boot/idle overhead of real workers (hired time exceeds
+    /// busy time; calibrated against measured utilisation).
+    pub overhead_price_factor: f64,
+    /// Apply the Eq. 1 delay-cost-vs-hire-cost throttle to *private*
+    /// hires as well (the paper's "just enough and just on time"); when
+    /// false, free private capacity is always committed to a stalled
+    /// queue.
+    pub private_hire_throttle: bool,
+    /// Headroom factor for standing worker-pool sizing: pools hold
+    /// `headroom ×` the forecast busy demand so batch bursts are mostly
+    /// absorbed without fresh boots.
+    pub pool_headroom: f64,
+    /// EWMA smoothing for queue-time estimates.
+    pub eqt_alpha: f64,
+    /// Long-term allocators re-optimise this often, TU.
+    pub replan_period_tu: f64,
+    /// Relative noise of the offline profiling trace the knowledge base
+    /// is bootstrapped from.
+    pub profile_noise: f64,
+}
+
+impl Default for FixedParams {
+    fn default() -> Self {
+        FixedParams {
+            sim_time_tu: 10_000.0,
+            private_core_cost: 5.0,
+            rmax: 400.0,
+            rpenalty: 15.0,
+            rscale: 15_000.0,
+            mean_jobs_per_arrival: 3.0,
+            jobs_per_arrival_variance: 2.0,
+            mean_job_size: 5.0,
+            job_size_variance: 1.0,
+            private_capacity_cores: 624,
+            gb_per_size_unit: GB_PER_SIZE_UNIT,
+            idle_timeout_tu: 2.0,
+            public_idle_timeout_tu: 0.5,
+            overhead_price_factor: 1.3,
+            private_hire_throttle: false,
+            pool_headroom: 1.2,
+            eqt_alpha: 0.2,
+            replan_period_tu: 50.0,
+            profile_noise: 0.02,
+        }
+    }
+}
+
+/// Which reward scheme a run uses (Table I's "task completion reward
+/// function" axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// `R(d,t) = d(Rmax − t·Rpenalty)`.
+    TimeBased,
+    /// `R(d,t) = d·Rscale/t`.
+    ThroughputBased,
+    /// §III-A.2 extension: time-based reward that falls to zero past a
+    /// deadline (default: the time-based breakeven, Rmax/Rpenalty).
+    Deadline,
+    /// §III-A.2 extension: time-based reward plateauing below a target
+    /// latency (default 18 TU) — "the customer is not willing to pay for
+    /// more".
+    Plateau,
+}
+
+impl RewardKind {
+    /// The two Table I kinds, for the paper's sweeps (the deadline and
+    /// plateau extensions are exercised by the ablation experiments, not
+    /// the published grid).
+    pub fn all() -> [RewardKind; 2] {
+        [RewardKind::TimeBased, RewardKind::ThroughputBased]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RewardKind::TimeBased => "time-based",
+            RewardKind::ThroughputBased => "throughput-based",
+            RewardKind::Deadline => "deadline",
+            RewardKind::Plateau => "plateau",
+        }
+    }
+}
+
+/// Table I — the variable simulation parameters (one grid cell).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariableParams {
+    /// Resource allocation algorithm.
+    pub allocation: AllocationPolicy,
+    /// Horizontal scaling algorithm.
+    pub scaling: ScalingPolicy,
+    /// Mean job inter-arrival interval, TU (2.0 … 3.0).
+    pub mean_interval: f64,
+    /// Reward scheme.
+    pub reward: RewardKind,
+    /// Public tier core cost, CU/TU (20, 50, 80, 110).
+    pub public_core_cost: f64,
+}
+
+impl VariableParams {
+    /// The configuration of Fig. 4: best-constant allocation, time-based
+    /// reward, public cost 50, scaling as given.
+    pub fn fig4(scaling: ScalingPolicy, mean_interval: f64) -> Self {
+        VariableParams {
+            allocation: AllocationPolicy::BestConstant,
+            scaling,
+            mean_interval,
+            reward: RewardKind::TimeBased,
+            public_core_cost: 50.0,
+        }
+    }
+}
+
+/// A full experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Fixed attributes (Table III).
+    pub fixed: FixedParams,
+    /// Variable attributes (Table I cell).
+    pub variable: VariableParams,
+    /// Base experiment seed; repetition `k` derives its streams from
+    /// `(seed, k)`.
+    pub seed: u64,
+    /// Allow idle workers to be reshaped to other instance sizes (the
+    /// Fig. 5 heterogeneous configuration), paying the 30 s penalty.
+    pub allow_reshape: bool,
+    /// Override the execution plan for every job (used by the Fig. 5
+    /// core-stage sweep); `None` lets the allocation policy decide.
+    pub forced_plan: Option<Vec<(u32, u32)>>,
+}
+
+impl ScanConfig {
+    /// A config with paper defaults for the given variable cell.
+    pub fn new(variable: VariableParams, seed: u64) -> Self {
+        ScanConfig {
+            fixed: FixedParams::default(),
+            variable,
+            seed,
+            allow_reshape: false,
+            forced_plan: None,
+        }
+    }
+
+    /// The reward function object for this config.
+    pub fn reward_fn(&self) -> RewardFn {
+        match self.variable.reward {
+            RewardKind::TimeBased => {
+                RewardFn::TimeBased { rmax: self.fixed.rmax, rpenalty: self.fixed.rpenalty }
+            }
+            RewardKind::ThroughputBased => {
+                RewardFn::ThroughputBased { rscale: self.fixed.rscale }
+            }
+            RewardKind::Deadline => RewardFn::Deadline {
+                rmax: self.fixed.rmax,
+                rpenalty: self.fixed.rpenalty,
+                // Default deadline: the time-based breakeven latency.
+                deadline: self.fixed.rmax / self.fixed.rpenalty,
+            },
+            RewardKind::Plateau => RewardFn::Plateau {
+                rmax: self.fixed.rmax,
+                rpenalty: self.fixed.rpenalty,
+                // Just above the latency the profit-optimal time-based
+                // plan achieves, so the knee actually binds.
+                plateau: 18.0,
+            },
+        }
+    }
+
+    /// The arrival process parameters for this config.
+    pub fn arrival_config(&self) -> ArrivalConfig {
+        ArrivalConfig {
+            mean_interval: self.variable.mean_interval,
+            mean_batch: self.fixed.mean_jobs_per_arrival,
+            batch_variance: self.fixed.jobs_per_arrival_variance,
+            mean_size: self.fixed.mean_job_size,
+            size_variance: self.fixed.job_size_variance,
+        }
+    }
+
+    /// The ground-truth pipeline model at this config's calibration.
+    pub fn true_model(&self) -> PipelineModel {
+        PipelineModel::new(
+            scan_workload::gatk::PAPER_STAGE_FACTORS.to_vec(),
+            self.fixed.gb_per_size_unit,
+        )
+    }
+}
+
+/// The Table I grid, enumerable for the full-permutation sweep of §IV-B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterGrid {
+    /// Allocation algorithms to sweep.
+    pub allocations: Vec<AllocationPolicy>,
+    /// Scaling algorithms to sweep.
+    pub scalings: Vec<ScalingPolicy>,
+    /// Mean inter-arrival intervals, TU.
+    pub intervals: Vec<f64>,
+    /// Reward schemes.
+    pub rewards: Vec<RewardKind>,
+    /// Public tier costs, CU/TU.
+    pub public_costs: Vec<f64>,
+}
+
+impl ParameterGrid {
+    /// Table I verbatim: 4 × 3 × 11 × 2 × 4 = 1056 cells.
+    pub fn paper() -> Self {
+        ParameterGrid {
+            allocations: AllocationPolicy::all().to_vec(),
+            scalings: ScalingPolicy::all().to_vec(),
+            intervals: (0..=10).map(|i| 2.0 + 0.1 * i as f64).collect(),
+            rewards: RewardKind::all().to_vec(),
+            public_costs: vec![20.0, 50.0, 80.0, 110.0],
+        }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.allocations.len()
+            * self.scalings.len()
+            * self.intervals.len()
+            * self.rewards.len()
+            * self.public_costs.len()
+    }
+
+    /// Enumerates every cell in deterministic order.
+    pub fn cells(&self) -> Vec<VariableParams> {
+        let mut out = Vec::with_capacity(self.n_cells());
+        for &allocation in &self.allocations {
+            for &scaling in &self.scalings {
+                for &mean_interval in &self.intervals {
+                    for &reward in &self.rewards {
+                        for &public_core_cost in &self.public_costs {
+                            out.push(VariableParams {
+                                allocation,
+                                scaling,
+                                mean_interval,
+                                reward,
+                                public_core_cost,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_defaults() {
+        let f = FixedParams::default();
+        assert_eq!(f.sim_time_tu, 10_000.0);
+        assert_eq!(f.private_core_cost, 5.0);
+        assert_eq!(f.rmax, 400.0);
+        assert_eq!(f.rpenalty, 15.0);
+        assert_eq!(f.rscale, 15_000.0);
+        assert_eq!(f.mean_jobs_per_arrival, 3.0);
+        assert_eq!(f.jobs_per_arrival_variance, 2.0);
+        assert_eq!(f.mean_job_size, 5.0);
+        assert_eq!(f.job_size_variance, 1.0);
+        assert_eq!(f.private_capacity_cores, 624);
+    }
+
+    #[test]
+    fn paper_grid_has_1056_cells() {
+        let g = ParameterGrid::paper();
+        assert_eq!(g.n_cells(), 4 * 3 * 11 * 2 * 4);
+        assert_eq!(g.cells().len(), g.n_cells());
+        // Intervals are 2.0, 2.1, …, 3.0.
+        assert_eq!(g.intervals.len(), 11);
+        assert!((g.intervals[0] - 2.0).abs() < 1e-12);
+        assert!((g.intervals[10] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reward_fn_selection() {
+        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.5), 1);
+        assert_eq!(cfg.reward_fn(), RewardFn::paper_time_based());
+        cfg.variable.reward = RewardKind::ThroughputBased;
+        assert_eq!(cfg.reward_fn(), RewardFn::paper_throughput_based());
+    }
+
+    #[test]
+    fn extended_reward_kinds_materialise() {
+        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.5), 1);
+        cfg.variable.reward = RewardKind::Deadline;
+        match cfg.reward_fn() {
+            RewardFn::Deadline { deadline, .. } => {
+                assert!((deadline - 400.0 / 15.0).abs() < 1e-9)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        cfg.variable.reward = RewardKind::Plateau;
+        assert_eq!(cfg.reward_fn().name(), "plateau");
+        // The paper grid stays two-valued.
+        assert_eq!(RewardKind::all().len(), 2);
+    }
+
+    #[test]
+    fn fig4_cell_matches_caption() {
+        // "Reward function: Time-based; Public-tier hire cost: 50;
+        //  Resource allocation algorithm: Best constant plan"
+        let v = VariableParams::fig4(ScalingPolicy::AlwaysScale, 2.0);
+        assert_eq!(v.allocation, AllocationPolicy::BestConstant);
+        assert_eq!(v.reward, RewardKind::TimeBased);
+        assert_eq!(v.public_core_cost, 50.0);
+    }
+
+    #[test]
+    fn arrival_config_reflects_interval() {
+        let cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.7), 1);
+        let a = cfg.arrival_config();
+        assert!((a.mean_interval - 2.7).abs() < 1e-12);
+        assert_eq!(a.mean_batch, 3.0);
+    }
+}

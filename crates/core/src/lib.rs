@@ -1,0 +1,35 @@
+//! # scan-platform — the SCAN platform
+//!
+//! The integration crate: Data Broker + Scheduler + Workers (Fig. 2/3)
+//! wired onto the discrete-event kernel, driving the simulated hybrid
+//! cloud through full evaluation sessions.
+//!
+//! * [`config`] — Table III's fixed parameters, Table I's variable
+//!   parameters, and the full parameter grid.
+//! * [`broker`] — the Data Broker: knowledge-base bootstrap from profiling
+//!   traces, learned pipeline models, chunk advice and dataset/shard
+//!   registration against the shared store.
+//! * [`platform`] — the event-driven world: arrivals → admission →
+//!   per-class queues → scaling decisions → worker execution → stage
+//!   advancement → reward, exactly the loop of §III-A.2.
+//! * [`metrics`] — per-session metrics (profit per run, reward-to-cost,
+//!   latency, utilisation) and replicated mean ± σ aggregates.
+//! * [`session`] — one seeded simulation run; [`sweep`] — rayon-parallel
+//!   replication and parameter grids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod config;
+pub mod metrics;
+pub mod platform;
+pub mod session;
+pub mod sweep;
+
+pub use broker::DataBroker;
+pub use config::{FixedParams, ParameterGrid, ScanConfig, VariableParams};
+pub use metrics::{ReplicatedMetrics, SessionMetrics};
+pub use platform::Platform;
+pub use session::run_session;
+pub use sweep::{run_replicated, sweep_grid, CellResult};

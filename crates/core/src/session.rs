@@ -1,0 +1,25 @@
+//! One seeded session run.
+
+use crate::config::ScanConfig;
+use crate::metrics::SessionMetrics;
+use crate::platform::Platform;
+
+/// Runs one repetition of one configuration to completion.
+pub fn run_session(cfg: &ScanConfig, repetition: u64) -> SessionMetrics {
+    Platform::new(cfg.clone(), repetition).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariableParams;
+    use scan_sched::scaling::ScalingPolicy;
+
+    #[test]
+    fn run_session_smoke() {
+        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.8), 5);
+        cfg.fixed.sim_time_tu = 150.0;
+        let m = run_session(&cfg, 3);
+        assert!(m.jobs_submitted > 0);
+    }
+}

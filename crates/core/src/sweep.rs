@@ -1,0 +1,108 @@
+//! Replicated runs and parameter-grid sweeps, parallelised with rayon.
+//!
+//! Each `(cell, repetition)` pair is an independent, deterministic
+//! simulation (its RNG streams derive from `(seed, repetition)`), so the
+//! rayon fan-out provably returns the same results as a sequential loop —
+//! the data-parallel contract the workspace's HPC guides are built on.
+
+use crate::config::{ScanConfig, VariableParams};
+use crate::metrics::{ReplicatedMetrics, SessionMetrics};
+use crate::session::run_session;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Runs `repetitions` seeded repetitions of one configuration in parallel
+/// and aggregates mean ± σ.
+pub fn run_replicated(cfg: &ScanConfig, repetitions: u64) -> ReplicatedMetrics {
+    assert!(repetitions >= 1);
+    let sessions: Vec<SessionMetrics> =
+        (0..repetitions).into_par_iter().map(|rep| run_session(cfg, rep)).collect();
+    ReplicatedMetrics::from_sessions(sessions)
+}
+
+/// One sweep cell's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell's variable parameters.
+    pub params: VariableParams,
+    /// Replicated metrics for the cell.
+    pub metrics: ReplicatedMetrics,
+}
+
+/// Sweeps a list of cells, each replicated, with the whole
+/// `(cell × repetition)` space scheduled onto one rayon pool.
+pub fn sweep_grid(
+    base: &ScanConfig,
+    cells: &[VariableParams],
+    repetitions: u64,
+) -> Vec<CellResult> {
+    assert!(repetitions >= 1);
+    // Flatten so rayon load-balances across the full space (cells differ
+    // wildly in event counts: heavy-load never-scale cells are cheap,
+    // always-scale cells are not).
+    let flat: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|c| (0..repetitions).map(move |r| (c, r)))
+        .collect();
+    let sessions: Vec<(usize, SessionMetrics)> = flat
+        .into_par_iter()
+        .map(|(c, rep)| {
+            let mut cfg = base.clone();
+            cfg.variable = cells[c];
+            (c, run_session(&cfg, rep))
+        })
+        .collect();
+
+    let mut grouped: Vec<Vec<SessionMetrics>> = vec![Vec::new(); cells.len()];
+    for (c, m) in sessions {
+        grouped[c].push(m);
+    }
+    cells
+        .iter()
+        .zip(grouped)
+        .map(|(&params, sessions)| CellResult {
+            params,
+            metrics: ReplicatedMetrics::from_sessions(sessions),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScanConfig;
+    use scan_sched::scaling::ScalingPolicy;
+
+    fn base() -> ScanConfig {
+        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.5), 17);
+        cfg.fixed.sim_time_tu = 120.0;
+        cfg
+    }
+
+    #[test]
+    fn replicated_aggregates_n_runs() {
+        let r = run_replicated(&base(), 4);
+        assert_eq!(r.n(), 4);
+        assert!(r.profit_per_run.stddev() >= 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = base();
+        let par = run_replicated(&cfg, 3);
+        let seq: Vec<SessionMetrics> = (0..3).map(|rep| run_session(&cfg, rep)).collect();
+        assert_eq!(par.sessions, seq, "rayon must not change results");
+    }
+
+    #[test]
+    fn sweep_preserves_cell_order() {
+        let cells: Vec<VariableParams> = [2.2, 2.8]
+            .iter()
+            .map(|&i| VariableParams::fig4(ScalingPolicy::AlwaysScale, i))
+            .collect();
+        let results = sweep_grid(&base(), &cells, 2);
+        assert_eq!(results.len(), 2);
+        assert!((results[0].params.mean_interval - 2.2).abs() < 1e-12);
+        assert!((results[1].params.mean_interval - 2.8).abs() < 1e-12);
+        assert_eq!(results[0].metrics.n(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! A k-mer seed-and-vote read aligner — a miniature BWA.
+//!
+//! The index stores every k-mer of the reference in a hash table (2-bit
+//! packed). Alignment samples seeds along the read, votes on the implied
+//! start position on both strands, verifies the best candidate by direct
+//! comparison and emits a [`SamRecord`] whose MAPQ reflects the vote
+//! margin. Batch alignment is data-parallel via rayon — the canonical
+//! `par_iter().map().collect()` shape from the workspace's HPC guides.
+
+use crate::fastq::FastqRecord;
+use crate::sam::{SamRecord, FLAG_REVERSE};
+use crate::synth::{reverse_complement, ReferenceGenome};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Packs a k-mer into a `u64` (2 bits per base). Returns `None` when the
+/// window contains a non-ACGT base or `k > 31`.
+fn pack_kmer(seq: &[u8]) -> Option<u64> {
+    if seq.len() > 31 {
+        return None;
+    }
+    let mut v = 0u64;
+    for &b in seq {
+        let code = match b {
+            b'A' => 0u64,
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            _ => return None,
+        };
+        v = (v << 2) | code;
+    }
+    Some(v)
+}
+
+/// A k-mer index over a reference genome.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    /// k-mer → (chrom, pos) occurrence list.
+    map: HashMap<u64, Vec<(u32, u32)>>,
+}
+
+impl KmerIndex {
+    /// Builds the index with word size `k` (4 ≤ k ≤ 31).
+    pub fn build(genome: &ReferenceGenome, k: usize) -> Self {
+        assert!((4..=31).contains(&k), "k must be in 4..=31");
+        let mut map: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
+        for c in 0..genome.n_chromosomes() {
+            let seq = genome.chromosome(c);
+            if seq.len() < k {
+                continue;
+            }
+            for pos in 0..=(seq.len() - k) {
+                if let Some(key) = pack_kmer(&seq[pos..pos + k]) {
+                    map.entry(key).or_default().push((c as u32, pos as u32));
+                }
+            }
+        }
+        KmerIndex { k, map }
+    }
+
+    /// The word size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers indexed.
+    pub fn n_kmers(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Occurrences of one k-mer.
+    fn lookup(&self, kmer: u64) -> &[(u32, u32)] {
+        self.map.get(&kmer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Aligns one read; returns an unmapped record when no confident
+    /// placement exists.
+    pub fn align_read(&self, genome: &ReferenceGenome, read: &FastqRecord) -> SamRecord {
+        let fwd = self.vote(&read.seq);
+        let rc = reverse_complement(&read.seq);
+        let rev = self.vote(&rc);
+
+        // Pick the strand with the stronger vote.
+        let (candidate, reverse) = match (fwd, rev) {
+            (Some(f), Some(r)) => {
+                if f.2 >= r.2 {
+                    (Some(f), false)
+                } else {
+                    (Some(r), true)
+                }
+            }
+            (Some(f), None) => (Some(f), false),
+            (None, Some(r)) => (Some(r), true),
+            (None, None) => (None, false),
+        };
+
+        let Some((chrom, pos, votes, runner_up)) = candidate.map(|(c, p, v)| {
+            let ru = if reverse { fwd.map(|f| f.2).unwrap_or(0) } else { rev.map(|r| r.2).unwrap_or(0) };
+            (c, p, v, ru)
+        }) else {
+            return SamRecord::unmapped(read.id.clone(), read.seq.clone(), read.qual.clone());
+        };
+
+        // Verify by direct comparison against the reference.
+        let oriented = if reverse { rc } else { read.seq.clone() };
+        let chrom_seq = genome.chromosome(chrom as usize);
+        let start = pos as usize;
+        let end = start + oriented.len();
+        if end > chrom_seq.len() {
+            return SamRecord::unmapped(read.id.clone(), read.seq.clone(), read.qual.clone());
+        }
+        let mismatches =
+            oriented.iter().zip(&chrom_seq[start..end]).filter(|(a, b)| a != b).count();
+        // Reject placements worse than 10% mismatch — a seed collision.
+        if mismatches * 10 > oriented.len() {
+            return SamRecord::unmapped(read.id.clone(), read.seq.clone(), read.qual.clone());
+        }
+
+        // MAPQ from the vote margin, capped at 60 like real aligners.
+        let margin = votes.saturating_sub(runner_up);
+        let mapq = (margin * 12).min(60) as u8;
+
+        let mut flag = 0u16;
+        if reverse {
+            flag |= FLAG_REVERSE;
+        }
+        SamRecord {
+            qname: read.id.clone(),
+            flag,
+            ref_id: chrom as i32,
+            pos: pos as i32,
+            mapq,
+            seq: oriented,
+            qual: if reverse {
+                read.qual.iter().rev().copied().collect()
+            } else {
+                read.qual.clone()
+            },
+        }
+    }
+
+    /// Seed-and-vote: sample seeds along the sequence, tally the implied
+    /// alignment start `(chrom, seed_hit − seed_offset)`, return the
+    /// winning position and its vote count.
+    fn vote(&self, seq: &[u8]) -> Option<(u32, u32, usize)> {
+        if seq.len() < self.k {
+            return None;
+        }
+        let stride = (self.k / 2).max(1);
+        let mut tally: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut offset = 0usize;
+        while offset + self.k <= seq.len() {
+            if let Some(key) = pack_kmer(&seq[offset..offset + self.k]) {
+                for &(chrom, hit) in self.lookup(key) {
+                    if hit as usize >= offset {
+                        let start = hit - offset as u32;
+                        *tally.entry((chrom, start)).or_insert(0) += 1;
+                    }
+                }
+            }
+            offset += stride;
+        }
+        tally
+            .into_iter()
+            // Deterministic tie-break: highest votes, then lowest (chrom, pos).
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|((chrom, pos), votes)| (chrom, pos, votes))
+    }
+
+    /// Aligns a batch of reads in parallel.
+    pub fn align_batch(&self, genome: &ReferenceGenome, reads: &[FastqRecord]) -> Vec<SamRecord> {
+        reads.par_iter().map(|r| self.align_read(genome, r)).collect()
+    }
+}
+
+/// Accuracy summary for a batch of alignments against simulator truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AlignStats {
+    /// Total reads.
+    pub total: usize,
+    /// Reads placed at exactly the simulated origin.
+    pub correct: usize,
+    /// Reads placed elsewhere.
+    pub wrong: usize,
+    /// Reads left unmapped.
+    pub unmapped: usize,
+}
+
+impl AlignStats {
+    /// Fraction of reads placed correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Scores alignments whose qnames carry simulator origins.
+    pub fn score(records: &[SamRecord]) -> AlignStats {
+        let mut st = AlignStats::default();
+        for r in records {
+            st.total += 1;
+            if r.is_unmapped() {
+                st.unmapped += 1;
+                continue;
+            }
+            match crate::synth::parse_read_origin(&r.qname) {
+                Some((chrom, pos, _)) if r.ref_id == chrom as i32 && r.pos == pos as i32 => {
+                    st.correct += 1
+                }
+                _ => st.wrong += 1,
+            }
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::ReadSimulator;
+    use scan_sim::SimRng;
+
+    fn setup(chrom_len: usize) -> (ReferenceGenome, KmerIndex) {
+        let mut rng = SimRng::from_seed_u64(1);
+        let genome = ReferenceGenome::generate(&mut rng, 2, chrom_len);
+        let index = KmerIndex::build(&genome, 15);
+        (genome, index)
+    }
+
+    #[test]
+    fn pack_kmer_basics() {
+        assert_eq!(pack_kmer(b"A"), Some(0));
+        assert_eq!(pack_kmer(b"C"), Some(1));
+        assert_eq!(pack_kmer(b"AC"), Some(1));
+        assert_eq!(pack_kmer(b"CA"), Some(4));
+        assert_eq!(pack_kmer(b"AN"), None);
+        assert_eq!(pack_kmer(&[b'A'; 32]), None);
+    }
+
+    #[test]
+    fn perfect_reads_align_perfectly() {
+        let (genome, index) = setup(3000);
+        let sim = ReadSimulator { read_len: 80, error_rate: 0.0, reverse_prob: 0.0 };
+        let mut rng = SimRng::from_seed_u64(2);
+        let reads = sim.simulate(&mut rng, &genome, 50);
+        let alns = index.align_batch(&genome, &reads);
+        let stats = AlignStats::score(&alns);
+        assert_eq!(stats.correct, 50, "{stats:?}");
+    }
+
+    #[test]
+    fn reverse_strand_reads_align() {
+        let (genome, index) = setup(3000);
+        let sim = ReadSimulator { read_len: 80, error_rate: 0.0, reverse_prob: 1.0 };
+        let mut rng = SimRng::from_seed_u64(3);
+        let reads = sim.simulate(&mut rng, &genome, 30);
+        let alns = index.align_batch(&genome, &reads);
+        let stats = AlignStats::score(&alns);
+        assert_eq!(stats.correct, 30, "{stats:?}");
+        assert!(alns.iter().all(|a| a.flag & FLAG_REVERSE != 0));
+    }
+
+    #[test]
+    fn noisy_reads_mostly_align() {
+        let (genome, index) = setup(5000);
+        let sim = ReadSimulator { read_len: 100, error_rate: 0.01, reverse_prob: 0.5 };
+        let mut rng = SimRng::from_seed_u64(4);
+        let reads = sim.simulate(&mut rng, &genome, 100);
+        let stats = AlignStats::score(&index.align_batch(&genome, &reads));
+        assert!(stats.accuracy() > 0.95, "{stats:?}");
+    }
+
+    #[test]
+    fn garbage_reads_unmapped() {
+        let (genome, index) = setup(2000);
+        // A read that exists nowhere: all-N has no valid k-mers.
+        let read = FastqRecord::new("junk", vec![b'N'; 60], vec![b'!'; 60]);
+        let aln = index.align_read(&genome, &read);
+        assert!(aln.is_unmapped());
+        // Too short for any seed.
+        let short = FastqRecord::new("short", b"ACGT".to_vec(), b"IIII".to_vec());
+        assert!(index.align_read(&genome, &short).is_unmapped());
+    }
+
+    #[test]
+    fn mapq_zero_when_ambiguous() {
+        // A genome that is one repeated block → every placement ties.
+        let block: Vec<u8> = b"ACGTACGTACGTACGTACGTACGTACGTACGT".to_vec();
+        let mut chrom = Vec::new();
+        for _ in 0..8 {
+            chrom.extend_from_slice(&block);
+        }
+        let genome = ReferenceGenome::from_sequences(vec![chrom]);
+        let index = KmerIndex::build(&genome, 8);
+        let read = FastqRecord::new("rep", block[..16].to_vec(), vec![b'I'; 16]);
+        let aln = index.align_read(&genome, &read);
+        assert!(!aln.is_unmapped());
+        // With dozens of equally-good placements the vote is split and the
+        // margin (hence MAPQ) collapses.
+        assert!(aln.mapq < 20, "mapq {}", aln.mapq);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (genome, index) = setup(2000);
+        let sim = ReadSimulator::default();
+        let mut rng = SimRng::from_seed_u64(5);
+        let reads = sim.simulate(&mut rng, &genome, 40);
+        let batch = index.align_batch(&genome, &reads);
+        let seq: Vec<SamRecord> = reads.iter().map(|r| index.align_read(&genome, r)).collect();
+        assert_eq!(batch, seq, "rayon batch must equal sequential result");
+    }
+
+    #[test]
+    fn index_statistics() {
+        let (_, index) = setup(1000);
+        assert_eq!(index.k(), 15);
+        assert!(index.n_kmers() > 900, "near-unique 15-mers expected");
+    }
+}

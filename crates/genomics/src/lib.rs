@@ -1,0 +1,45 @@
+//! # scan-genomics — the genomic data substrate
+//!
+//! The SCAN Data Broker "is equipped with Data Sharders for each type of
+//! genomic data, such as FASTQ and BAM files. They can, for example, divide
+//! a 100GB FASTQ file into 25 4GB files" (§III-A.1(iii)). The paper used
+//! real Illumina data and the Broad GATK binaries; we have neither, so this
+//! crate implements the closest synthetic equivalent that exercises the
+//! same code paths (see DESIGN.md §5):
+//!
+//! * [`fastq`] — FASTQ records, a streaming parser and a writer.
+//! * [`sam`] — SAM-style alignment records with both a text form and a
+//!   compact binary ("SBAM") encoding standing in for BAM.
+//! * [`vcf`] — VCF variant records, writer/parser and the merge used by
+//!   the paper's `VariantsToVCF`-style gather step.
+//! * [`synth`] — deterministic reference-genome and read generation with a
+//!   configurable sequencing-error model.
+//! * [`shard`] — record-boundary-respecting sharders for FASTQ and SBAM
+//!   byte streams, plus shard planning from target chunk sizes.
+//! * [`align`] — a k-mer seed-and-vote read aligner (a miniature BWA).
+//! * [`variant`] — a pileup-based variant caller (a miniature GATK
+//!   UnifiedGenotyper).
+//! * [`pipeline`] — a 7-stage GATK-like pipeline over shards, parallelised
+//!   with rayon, used by the examples to do *real* work end to end.
+//!
+//! All generation is deterministic given a seed; nothing here reads or
+//! writes the filesystem — "files" are in-memory byte buffers, which is
+//! what the simulated shared store serves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod fastq;
+pub mod pipeline;
+pub mod sam;
+pub mod shard;
+pub mod synth;
+pub mod variant;
+
+pub use align::{AlignStats, KmerIndex};
+pub use fastq::FastqRecord;
+pub use sam::SamRecord;
+pub use shard::{plan_shards, ShardPlan};
+pub use synth::{ReadSimulator, ReferenceGenome};
+pub use variant::{VcfRecord, VariantCaller};

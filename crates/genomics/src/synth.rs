@@ -1,0 +1,300 @@
+//! Deterministic synthetic genomes and reads.
+//!
+//! Substitutes for the paper's Illumina HiSeq data (DESIGN.md §5): a
+//! seeded reference genome with planted variants, and a read simulator
+//! with a configurable per-base error rate. Read ids embed the true origin
+//! (`chrom:pos:strand`) so alignment accuracy is measurable exactly.
+
+use crate::fastq::FastqRecord;
+use scan_sim::SimRng;
+
+/// The four bases.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Complements a base (N maps to itself).
+pub fn complement(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        other => other,
+    }
+}
+
+/// Reverse-complements a sequence.
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement(b)).collect()
+}
+
+/// A planted ground-truth variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedVariant {
+    /// Chromosome index.
+    pub chrom: u32,
+    /// 0-based position.
+    pub pos: u32,
+    /// Reference base at the site.
+    pub ref_base: u8,
+    /// Alternate base carried by the sample.
+    pub alt_base: u8,
+}
+
+/// A reference genome of one or more chromosomes.
+#[derive(Debug, Clone)]
+pub struct ReferenceGenome {
+    chromosomes: Vec<Vec<u8>>,
+}
+
+impl ReferenceGenome {
+    /// Generates `n_chromosomes` chromosomes of `chrom_len` bases each.
+    pub fn generate(rng: &mut SimRng, n_chromosomes: usize, chrom_len: usize) -> Self {
+        assert!(n_chromosomes > 0 && chrom_len > 0);
+        let chromosomes = (0..n_chromosomes)
+            .map(|_| (0..chrom_len).map(|_| BASES[rng.uniform_usize(0, 3)]).collect())
+            .collect();
+        ReferenceGenome { chromosomes }
+    }
+
+    /// Builds a genome from explicit sequences (tests).
+    pub fn from_sequences(chromosomes: Vec<Vec<u8>>) -> Self {
+        assert!(!chromosomes.is_empty());
+        ReferenceGenome { chromosomes }
+    }
+
+    /// Number of chromosomes.
+    pub fn n_chromosomes(&self) -> usize {
+        self.chromosomes.len()
+    }
+
+    /// One chromosome's sequence.
+    pub fn chromosome(&self, i: usize) -> &[u8] {
+        &self.chromosomes[i]
+    }
+
+    /// Total bases across chromosomes.
+    pub fn total_len(&self) -> usize {
+        self.chromosomes.iter().map(Vec::len).sum()
+    }
+
+    /// Copies the genome and plants `n` random SNVs, returning the mutated
+    /// "sample genome" and the ground-truth variant list (positions are
+    /// unique per chromosome).
+    pub fn plant_variants(&self, rng: &mut SimRng, n: usize) -> (ReferenceGenome, Vec<PlantedVariant>) {
+        let mut sample = self.chromosomes.clone();
+        let mut variants = Vec::with_capacity(n);
+        let mut used = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while variants.len() < n && attempts < n * 20 {
+            attempts += 1;
+            let chrom = rng.uniform_usize(0, self.chromosomes.len() - 1);
+            let pos = rng.uniform_usize(0, self.chromosomes[chrom].len() - 1);
+            if !used.insert((chrom, pos)) {
+                continue;
+            }
+            let ref_base = self.chromosomes[chrom][pos];
+            // Pick a different base.
+            let alt_base = loop {
+                let b = BASES[rng.uniform_usize(0, 3)];
+                if b != ref_base {
+                    break b;
+                }
+            };
+            sample[chrom][pos] = alt_base;
+            variants.push(PlantedVariant {
+                chrom: chrom as u32,
+                pos: pos as u32,
+                ref_base,
+                alt_base,
+            });
+        }
+        variants.sort_by_key(|v| (v.chrom, v.pos));
+        (ReferenceGenome { chromosomes: sample }, variants)
+    }
+}
+
+/// Simulates short reads from a genome.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadSimulator {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Per-base sequencing error probability.
+    pub error_rate: f64,
+    /// Probability a read comes from the reverse strand.
+    pub reverse_prob: f64,
+}
+
+impl Default for ReadSimulator {
+    fn default() -> Self {
+        ReadSimulator { read_len: 100, error_rate: 0.002, reverse_prob: 0.5 }
+    }
+}
+
+impl ReadSimulator {
+    /// Samples `n` reads uniformly from `genome`. Read ids encode the true
+    /// origin as `r<i>:<chrom>:<pos>:<strand>`.
+    pub fn simulate(&self, rng: &mut SimRng, genome: &ReferenceGenome, n: usize) -> Vec<FastqRecord> {
+        assert!(self.read_len > 0);
+        (0..n).map(|i| self.one_read(rng, genome, i)).collect()
+    }
+
+    fn one_read(&self, rng: &mut SimRng, genome: &ReferenceGenome, index: usize) -> FastqRecord {
+        let chrom = rng.uniform_usize(0, genome.n_chromosomes() - 1);
+        let seq_src = genome.chromosome(chrom);
+        assert!(
+            seq_src.len() >= self.read_len,
+            "chromosome shorter than read length ({} < {})",
+            seq_src.len(),
+            self.read_len
+        );
+        let pos = rng.uniform_usize(0, seq_src.len() - self.read_len);
+        let mut seq: Vec<u8> = seq_src[pos..pos + self.read_len].to_vec();
+        let reverse = rng.uniform01() < self.reverse_prob;
+        if reverse {
+            seq = reverse_complement(&seq);
+        }
+        // Apply the error model; errored bases get low quality scores.
+        let mut qual = vec![b'I'; self.read_len]; // Phred 40
+        for j in 0..self.read_len {
+            if rng.uniform01() < self.error_rate {
+                let orig = seq[j];
+                seq[j] = loop {
+                    let b = BASES[rng.uniform_usize(0, 3)];
+                    if b != orig {
+                        break b;
+                    }
+                };
+                qual[j] = b'('; // Phred 7: the simulator "knows" it is shaky
+            }
+        }
+        let strand = if reverse { '-' } else { '+' };
+        FastqRecord::new(format!("r{index}:{chrom}:{pos}:{strand}"), seq, qual)
+    }
+}
+
+/// Parses the ground-truth origin out of a simulated read id.
+pub fn parse_read_origin(id: &str) -> Option<(u32, u32, bool)> {
+    let mut parts = id.split(':');
+    let _name = parts.next()?;
+    let chrom = parts.next()?.parse().ok()?;
+    let pos = parts.next()?.parse().ok()?;
+    let strand = parts.next()?;
+    Some((chrom, pos, strand == "-"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed_u64(42)
+    }
+
+    #[test]
+    fn genome_shape() {
+        let g = ReferenceGenome::generate(&mut rng(), 3, 500);
+        assert_eq!(g.n_chromosomes(), 3);
+        assert_eq!(g.total_len(), 1500);
+        assert!(g.chromosome(0).iter().all(|b| BASES.contains(b)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ReferenceGenome::generate(&mut rng(), 1, 100);
+        let b = ReferenceGenome::generate(&mut rng(), 1, 100);
+        assert_eq!(a.chromosome(0), b.chromosome(0));
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let seq = b"ACGTTGCA".to_vec();
+        assert_eq!(reverse_complement(&reverse_complement(&seq)), seq);
+        assert_eq!(reverse_complement(b"ACGT"), b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn planted_variants_differ_from_reference() {
+        let g = ReferenceGenome::generate(&mut rng(), 2, 1000);
+        let (sample, vars) = g.plant_variants(&mut rng(), 50);
+        assert_eq!(vars.len(), 50);
+        for v in &vars {
+            assert_eq!(g.chromosome(v.chrom as usize)[v.pos as usize], v.ref_base);
+            assert_eq!(sample.chromosome(v.chrom as usize)[v.pos as usize], v.alt_base);
+            assert_ne!(v.ref_base, v.alt_base);
+        }
+        // Everything else identical.
+        let mutated: usize = (0..2)
+            .map(|c| {
+                g.chromosome(c)
+                    .iter()
+                    .zip(sample.chromosome(c))
+                    .filter(|(a, b)| a != b)
+                    .count()
+            })
+            .sum();
+        assert_eq!(mutated, 50);
+    }
+
+    #[test]
+    fn variants_sorted_and_unique() {
+        let g = ReferenceGenome::generate(&mut rng(), 2, 500);
+        let (_, vars) = g.plant_variants(&mut rng(), 30);
+        let mut sorted = vars.clone();
+        sorted.sort_by_key(|v| (v.chrom, v.pos));
+        assert_eq!(vars, sorted);
+        let mut seen = std::collections::HashSet::new();
+        assert!(vars.iter().all(|v| seen.insert((v.chrom, v.pos))));
+    }
+
+    #[test]
+    fn reads_have_correct_shape() {
+        let g = ReferenceGenome::generate(&mut rng(), 1, 2000);
+        let sim = ReadSimulator { read_len: 75, error_rate: 0.0, reverse_prob: 0.0 };
+        let reads = sim.simulate(&mut rng(), &g, 20);
+        assert_eq!(reads.len(), 20);
+        for r in &reads {
+            assert_eq!(r.len(), 75);
+            // Error-free forward reads match the reference exactly.
+            let (chrom, pos, rev) = parse_read_origin(&r.id).unwrap();
+            assert!(!rev);
+            assert_eq!(&g.chromosome(chrom as usize)[pos as usize..pos as usize + 75], &r.seq[..]);
+        }
+    }
+
+    #[test]
+    fn reverse_reads_match_after_rc() {
+        let g = ReferenceGenome::generate(&mut rng(), 1, 2000);
+        let sim = ReadSimulator { read_len: 50, error_rate: 0.0, reverse_prob: 1.0 };
+        let reads = sim.simulate(&mut rng(), &g, 10);
+        for r in &reads {
+            let (chrom, pos, rev) = parse_read_origin(&r.id).unwrap();
+            assert!(rev);
+            let fwd = reverse_complement(&r.seq);
+            assert_eq!(&g.chromosome(chrom as usize)[pos as usize..pos as usize + 50], &fwd[..]);
+        }
+    }
+
+    #[test]
+    fn error_rate_roughly_respected() {
+        let g = ReferenceGenome::generate(&mut rng(), 1, 5000);
+        let sim = ReadSimulator { read_len: 100, error_rate: 0.05, reverse_prob: 0.0 };
+        let reads = sim.simulate(&mut rng(), &g, 200);
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for r in &reads {
+            let (chrom, pos, _) = parse_read_origin(&r.id).unwrap();
+            let truth = &g.chromosome(chrom as usize)[pos as usize..pos as usize + 100];
+            errors += r.seq.iter().zip(truth).filter(|(a, b)| a != b).count();
+            total += 100;
+        }
+        let rate = errors as f64 / total as f64;
+        assert!((rate - 0.05).abs() < 0.01, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn origin_parsing() {
+        assert_eq!(parse_read_origin("r7:2:1234:-"), Some((2, 1234, true)));
+        assert_eq!(parse_read_origin("r7:0:88:+"), Some((0, 88, false)));
+        assert_eq!(parse_read_origin("garbage"), None);
+    }
+}

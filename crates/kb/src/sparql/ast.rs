@@ -1,0 +1,163 @@
+//! Abstract syntax of the SPARQL subset.
+
+use crate::term::Term;
+
+/// A term position in a triple pattern: a concrete RDF term or a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTerm {
+    /// A concrete term (IRIs already resolved against the prologue's
+    /// prefixes at parse time).
+    Const(Term),
+    /// A named variable (without the leading `?`).
+    Var(String),
+}
+
+/// One element of a group graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElement {
+    /// A triple pattern `s p o .`
+    Triple(QueryTerm, QueryTerm, QueryTerm),
+    /// `OPTIONAL { … }` — left outer join.
+    Optional(GroupPattern),
+    /// `FILTER ( expr )` — solution constraint.
+    Filter(Expr),
+}
+
+/// A `{ … }` group.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// Elements in source order. Triples join left-to-right; filters apply
+    /// to the group's solutions after all joins (per the SPARQL spec).
+    pub elements: Vec<PatternElement>,
+}
+
+/// A filter / ORDER BY expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant literal or IRI.
+    Const(Term),
+    /// A variable reference.
+    Var(String),
+    /// `!e`
+    Not(Box<Expr>),
+    /// `-e`
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `BOUND(?v)` — true if the variable is bound in the solution.
+    Bound(String),
+}
+
+/// Binary operators, loosest first in the parser's precedence climb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Expression to sort by (usually a bare variable).
+    pub expr: Expr,
+    /// True for `DESC(...)`.
+    pub descending: bool,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected variable names; `None` means `SELECT *`.
+    pub projection: Option<Vec<String>>,
+    /// Whether `DISTINCT` was given.
+    pub distinct: bool,
+    /// The `WHERE` group.
+    pub wher: GroupPattern,
+    /// `ORDER BY` keys, outermost first.
+    pub order_by: Vec<SortKey>,
+    /// `LIMIT`, if given.
+    pub limit: Option<usize>,
+    /// `OFFSET`, if given.
+    pub offset: Option<usize>,
+}
+
+impl GroupPattern {
+    /// Collects every variable mentioned in the group, in first-appearance
+    /// order (used for `SELECT *`).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        fn push(out: &mut Vec<String>, v: &str) {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        }
+        fn walk_term(out: &mut Vec<String>, t: &QueryTerm) {
+            if let QueryTerm::Var(v) = t {
+                push(out, v);
+            }
+        }
+        fn walk_group(out: &mut Vec<String>, g: &GroupPattern) {
+            for el in &g.elements {
+                match el {
+                    PatternElement::Triple(s, p, o) => {
+                        walk_term(out, s);
+                        walk_term(out, p);
+                        walk_term(out, o);
+                    }
+                    PatternElement::Optional(inner) => walk_group(out, inner),
+                    PatternElement::Filter(_) => {}
+                }
+            }
+        }
+        walk_group(&mut out, self);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_in_first_appearance_order() {
+        let g = GroupPattern {
+            elements: vec![
+                PatternElement::Triple(
+                    QueryTerm::Var("b".into()),
+                    QueryTerm::Const(Term::iri("http://p")),
+                    QueryTerm::Var("a".into()),
+                ),
+                PatternElement::Optional(GroupPattern {
+                    elements: vec![PatternElement::Triple(
+                        QueryTerm::Var("b".into()),
+                        QueryTerm::Var("c".into()),
+                        QueryTerm::Const(Term::int(1)),
+                    )],
+                }),
+            ],
+        };
+        assert_eq!(g.variables(), vec!["b", "a", "c"]);
+    }
+}

@@ -1,0 +1,526 @@
+//! Query evaluation: solution mappings, joins, filters, modifiers.
+
+use super::ast::{BinOp, Expr, GroupPattern, PatternElement, Query, QueryTerm, SortKey};
+use super::SparqlError;
+use crate::store::{PatternSlot, TriplePattern, TripleStore};
+use crate::term::{Literal, NodeId, Term};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// One solution mapping: variable name → bound node.
+pub type Solution = BTreeMap<String, NodeId>;
+
+/// A resolved result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    vars: Vec<(String, Term)>,
+}
+
+impl Binding {
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.vars.iter().find(|(v, _)| v == var).map(|(_, t)| t)
+    }
+
+    /// Iterates over `(variable, term)` pairs in projection order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.vars.iter().map(|(v, t)| (v.as_str(), t))
+    }
+}
+
+/// The result of executing a query: projected variables plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResults {
+    variables: Vec<String>,
+    rows: Vec<Binding>,
+}
+
+impl QueryResults {
+    /// The projected variable names.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The result rows in final (ordered, sliced) order.
+    pub fn rows(&self) -> &[Binding] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the query produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Convenience: the values of one column as `f64` (skipping rows where
+    /// the variable is unbound or non-numeric).
+    pub fn column_f64(&self, var: &str) -> Vec<f64> {
+        self.rows.iter().filter_map(|r| r.get(var).and_then(Term::as_f64)).collect()
+    }
+}
+
+/// Runtime value of a filter expression.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Iri(String),
+    /// SPARQL type error: poisons comparisons, makes filters reject.
+    Error,
+}
+
+impl Value {
+    fn effective_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Num(x) => *x != 0.0 && !x.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Iri(_) | Value::Error => false,
+        }
+    }
+}
+
+impl Query {
+    /// Executes the query against a store.
+    pub fn execute(&self, store: &TripleStore) -> Result<QueryResults, SparqlError> {
+        let solutions = eval_group(store, &self.wher, vec![Solution::new()])?;
+
+        // Projection list: explicit or all variables in appearance order.
+        let variables: Vec<String> = match &self.projection {
+            Some(vars) => vars.clone(),
+            None => self.wher.variables(),
+        };
+
+        // Order.
+        let mut solutions = solutions;
+        if !self.order_by.is_empty() {
+            let keys = &self.order_by;
+            solutions.sort_by(|a, b| compare_solutions(store, a, b, keys));
+        }
+
+        // Distinct (applied to the projected columns, preserving order).
+        let mut rows: Vec<Binding> = Vec::with_capacity(solutions.len());
+        let mut seen: std::collections::HashSet<Vec<Option<NodeId>>> =
+            std::collections::HashSet::new();
+        for sol in &solutions {
+            let key: Vec<Option<NodeId>> =
+                variables.iter().map(|v| sol.get(v).copied()).collect();
+            if self.distinct && !seen.insert(key.clone()) {
+                continue;
+            }
+            let vars = variables
+                .iter()
+                .zip(key)
+                .filter_map(|(v, id)| id.map(|id| (v.clone(), store.resolve(id).clone())))
+                .collect();
+            rows.push(Binding { vars });
+        }
+
+        // Slice.
+        let offset = self.offset.unwrap_or(0);
+        let rows: Vec<Binding> = rows
+            .into_iter()
+            .skip(offset)
+            .take(self.limit.unwrap_or(usize::MAX))
+            .collect();
+
+        Ok(QueryResults { variables, rows })
+    }
+}
+
+/// Evaluates a group pattern given a set of input solutions.
+fn eval_group(
+    store: &TripleStore,
+    group: &GroupPattern,
+    input: Vec<Solution>,
+) -> Result<Vec<Solution>, SparqlError> {
+    let mut solutions = input;
+    let mut filters: Vec<&Expr> = Vec::new();
+
+    for el in &group.elements {
+        match el {
+            PatternElement::Triple(s, p, o) => {
+                solutions = join_triple(store, &solutions, s, p, o);
+            }
+            PatternElement::Optional(inner) => {
+                let mut next = Vec::with_capacity(solutions.len());
+                for sol in solutions {
+                    let extended = eval_group(store, inner, vec![sol.clone()])?;
+                    if extended.is_empty() {
+                        next.push(sol);
+                    } else {
+                        next.extend(extended);
+                    }
+                }
+                solutions = next;
+            }
+            PatternElement::Filter(expr) => filters.push(expr),
+        }
+    }
+
+    // Per SPARQL semantics, FILTERs constrain the whole group.
+    for f in filters {
+        solutions.retain(|sol| eval_expr(store, f, sol).effective_bool());
+    }
+    Ok(solutions)
+}
+
+/// Index nested-loop join of `solutions` with one triple pattern.
+fn join_triple(
+    store: &TripleStore,
+    solutions: &[Solution],
+    s: &QueryTerm,
+    p: &QueryTerm,
+    o: &QueryTerm,
+) -> Vec<Solution> {
+    let mut out = Vec::new();
+    for sol in solutions {
+        let slot = |qt: &QueryTerm| -> Option<PatternSlot> {
+            match qt {
+                QueryTerm::Var(v) => match sol.get(v) {
+                    Some(&id) => Some(PatternSlot::Bound(id)),
+                    None => Some(PatternSlot::Any),
+                },
+                QueryTerm::Const(t) => {
+                    // A constant not present in the store matches nothing.
+                    lookup_term(store, t).map(PatternSlot::Bound)
+                }
+            }
+        };
+        let (Some(ss), Some(ps), Some(os)) = (slot(s), slot(p), slot(o)) else {
+            continue;
+        };
+        for (ts, tp, to) in store.matching(TriplePattern { s: ss, p: ps, o: os }) {
+            let mut next = sol.clone();
+            let mut ok = true;
+            for (qt, id) in [(s, ts), (p, tp), (o, to)] {
+                if let QueryTerm::Var(v) = qt {
+                    match next.get(v) {
+                        Some(&bound) if bound != id => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            next.insert(v.clone(), id);
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push(next);
+            }
+        }
+    }
+    out
+}
+
+fn lookup_term(store: &TripleStore, t: &Term) -> Option<NodeId> {
+    match t {
+        Term::Iri(s) => store.nodes().lookup_iri(s),
+        Term::Literal(l) => store.nodes().lookup_literal(l),
+        Term::Blank(_) => None,
+    }
+}
+
+fn term_value(term: &Term) -> Value {
+    match term {
+        Term::Iri(s) => Value::Iri(s.clone()),
+        Term::Blank(_) => Value::Error,
+        Term::Literal(Literal::Str(s)) => Value::Str(s.clone()),
+        Term::Literal(Literal::Int(i)) => Value::Num(*i as f64),
+        Term::Literal(Literal::Float(f)) => Value::Num(*f),
+        Term::Literal(Literal::Bool(b)) => Value::Bool(*b),
+    }
+}
+
+fn eval_expr(store: &TripleStore, expr: &Expr, sol: &Solution) -> Value {
+    match expr {
+        Expr::Const(t) => term_value(t),
+        Expr::Var(v) => match sol.get(v) {
+            Some(&id) => term_value(store.resolve(id)),
+            None => Value::Error,
+        },
+        Expr::Bound(v) => Value::Bool(sol.contains_key(v)),
+        Expr::Not(e) => Value::Bool(!eval_expr(store, e, sol).effective_bool()),
+        Expr::Neg(e) => match eval_expr(store, e, sol) {
+            Value::Num(x) => Value::Num(-x),
+            _ => Value::Error,
+        },
+        Expr::Binary(op, l, r) => {
+            let lv = eval_expr(store, l, sol);
+            match op {
+                BinOp::And => {
+                    // Short-circuit on effective boolean values.
+                    if !lv.effective_bool() {
+                        return Value::Bool(false);
+                    }
+                    Value::Bool(eval_expr(store, r, sol).effective_bool())
+                }
+                BinOp::Or => {
+                    if lv.effective_bool() {
+                        return Value::Bool(true);
+                    }
+                    Value::Bool(eval_expr(store, r, sol).effective_bool())
+                }
+                _ => {
+                    let rv = eval_expr(store, r, sol);
+                    eval_binary(*op, lv, rv)
+                }
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Value {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => match (l, r) {
+            (Value::Num(a), Value::Num(b)) => {
+                let x = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => {
+                        if b == 0.0 {
+                            return Value::Error;
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                };
+                Value::Num(x)
+            }
+            _ => Value::Error,
+        },
+        Eq | Ne => {
+            let eq = match (&l, &r) {
+                (Value::Num(a), Value::Num(b)) => a == b,
+                (Value::Str(a), Value::Str(b)) => a == b,
+                (Value::Bool(a), Value::Bool(b)) => a == b,
+                (Value::Iri(a), Value::Iri(b)) => a == b,
+                (Value::Error, _) | (_, Value::Error) => return Value::Error,
+                _ => false,
+            };
+            Value::Bool(if op == Eq { eq } else { !eq })
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = match (&l, &r) {
+                (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                _ => None,
+            };
+            match ord {
+                None => Value::Error,
+                Some(ord) => Value::Bool(match op {
+                    Lt => ord == Ordering::Less,
+                    Le => ord != Ordering::Greater,
+                    Gt => ord == Ordering::Greater,
+                    Ge => ord != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            }
+        }
+        And | Or => unreachable!("handled in eval_expr"),
+    }
+}
+
+/// Total order over solutions for ORDER BY: unbound sorts first, then by
+/// type (booleans < numbers < strings < IRIs), then by value.
+fn compare_solutions(
+    store: &TripleStore,
+    a: &Solution,
+    b: &Solution,
+    keys: &[SortKey],
+) -> Ordering {
+    for key in keys {
+        let va = eval_expr(store, &key.expr, a);
+        let vb = eval_expr(store, &key.expr, b);
+        let ord = compare_values(&va, &vb);
+        let ord = if key.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Error => 0,
+        Value::Bool(_) => 1,
+        Value::Num(_) => 2,
+        Value::Str(_) => 3,
+        Value::Iri(_) => 4,
+    }
+}
+
+fn compare_values(a: &Value, b: &Value) -> Ordering {
+    let (ra, rb) = (type_rank(a), type_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Num(x), Value::Num(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Iri(x), Value::Iri(y)) => x.cmp(y),
+        _ => Ordering::Equal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparql::parse_query;
+
+    fn demo_store() -> TripleStore {
+        let mut st = TripleStore::new();
+        for (s, age) in [("alice", 30), ("bob", 25), ("carol", 35)] {
+            st.insert_terms(
+                Term::iri(format!("http://p/{s}")),
+                Term::iri("http://p/age"),
+                Term::int(age),
+            );
+        }
+        st.insert_terms(
+            Term::iri("http://p/alice"),
+            Term::iri("http://p/knows"),
+            Term::iri("http://p/bob"),
+        );
+        st
+    }
+
+    #[test]
+    fn join_shares_variables() {
+        let st = demo_store();
+        // Who does alice know, and how old are they?
+        let q = parse_query(
+            "SELECT ?who ?age WHERE {
+                <http://p/alice> <http://p/knows> ?who .
+                ?who <http://p/age> ?age .
+            }",
+        )
+        .unwrap();
+        let res = q.execute(&st).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.rows()[0].get("age").unwrap().as_f64(), Some(25.0));
+    }
+
+    #[test]
+    fn constant_not_in_store_matches_nothing() {
+        let st = demo_store();
+        let q = parse_query("SELECT ?x WHERE { ?x <http://p/missing> 1 . }").unwrap();
+        assert!(q.execute(&st).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        let mut st = demo_store();
+        st.insert_terms(
+            Term::iri("http://p/alice"),
+            Term::iri("http://p/knows"),
+            Term::iri("http://p/alice"),
+        );
+        // ?x knows ?x — only the self-loop qualifies.
+        let q = parse_query("SELECT ?x WHERE { ?x <http://p/knows> ?x . }").unwrap();
+        let res = q.execute(&st).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.rows()[0].get("x").unwrap().as_iri().unwrap().ends_with("alice"));
+    }
+
+    #[test]
+    fn filter_division_by_zero_rejects() {
+        let st = demo_store();
+        let q = parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a / 0 > 1) }")
+            .unwrap();
+        assert!(q.execute(&st).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_unbound_var_rejects() {
+        let st = demo_store();
+        let q = parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?nope > 1) }")
+            .unwrap();
+        assert!(q.execute(&st).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bound_in_optional() {
+        let st = demo_store();
+        let q = parse_query(
+            "SELECT ?x WHERE {
+                ?x <http://p/age> ?a .
+                OPTIONAL { ?x <http://p/knows> ?k . }
+                FILTER (!BOUND(?k))
+            } ORDER BY ?x",
+        )
+        .unwrap();
+        let res = q.execute(&st).unwrap();
+        // bob and carol know nobody.
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn order_by_descending_and_column() {
+        let st = demo_store();
+        let q = parse_query(
+            "SELECT ?a WHERE { ?x <http://p/age> ?a . } ORDER BY DESC(?a)",
+        )
+        .unwrap();
+        let res = q.execute(&st).unwrap();
+        assert_eq!(res.column_f64("a"), vec![35.0, 30.0, 25.0]);
+    }
+
+    #[test]
+    fn order_by_expression() {
+        let st = demo_store();
+        // Sort by negated age == ascending by -age == descending by age.
+        let q = parse_query(
+            "SELECT ?a WHERE { ?x <http://p/age> ?a . } ORDER BY ASC(0 - ?a)",
+        )
+        .unwrap();
+        let res = q.execute(&st).unwrap();
+        assert_eq!(res.column_f64("a"), vec![35.0, 30.0, 25.0]);
+    }
+
+    #[test]
+    fn string_comparison_filters() {
+        let mut st = TripleStore::new();
+        st.insert_terms(Term::iri("http://x/i"), Term::iri("http://x/perf"), Term::str("good"));
+        st.insert_terms(Term::iri("http://x/j"), Term::iri("http://x/perf"), Term::str("bad"));
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <http://x/perf> ?p . FILTER (?p = \"good\") }",
+        )
+        .unwrap();
+        let res = q.execute(&st).unwrap();
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_in_filters() {
+        let st = demo_store();
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a * 2 - 10 >= 50) }",
+        )
+        .unwrap();
+        let res = q.execute(&st).unwrap();
+        assert_eq!(res.len(), 2); // 30 and 35
+    }
+
+    #[test]
+    fn short_circuit_or() {
+        let st = demo_store();
+        // Left side true → right side's type error never poisons it.
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a > 0 || ?nope / 0 = 1) }",
+        )
+        .unwrap();
+        assert_eq!(q.execute(&st).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-class FIFO task queues.
+//!
+//! §III-B: the scheduler "maintains an in-memory pool of available workers
+//! and a FIFO queue of pending tasks per class". A *class* is the worker
+//! shape a task needs (its thread count → instance size) plus the pipeline
+//! stage (workers are stage-agnostic in software, but the estimators track
+//! waits per stage).
+
+use scan_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The queue key: pipeline stage × worker cores required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskClass {
+    /// 0-based pipeline stage.
+    pub stage: usize,
+    /// Cores a worker needs to serve this class.
+    pub cores: u32,
+}
+
+/// One pending entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Queued<T> {
+    /// The queued payload (a subtask handle at the platform level).
+    pub item: T,
+    /// When it entered the queue.
+    pub enqueued_at: SimTime,
+}
+
+/// A FIFO queue with wait accounting.
+#[derive(Debug, Clone)]
+pub struct TaskQueue<T> {
+    items: VecDeque<Queued<T>>,
+    /// Completed waits (dequeue time − enqueue time), for EQT feedback.
+    total_wait: SimDuration,
+    dequeued: u64,
+    peak_len: usize,
+}
+
+impl<T> Default for TaskQueue<T> {
+    fn default() -> Self {
+        TaskQueue {
+            items: VecDeque::new(),
+            total_wait: SimDuration::ZERO,
+            dequeued: 0,
+            peak_len: 0,
+        }
+    }
+}
+
+impl<T> TaskQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: T, now: SimTime) {
+        self.items.push_back(Queued { item, enqueued_at: now });
+        self.peak_len = self.peak_len.max(self.items.len());
+    }
+
+    /// Pops the oldest item, recording its wait. Returns the item and how
+    /// long it waited.
+    pub fn pop(&mut self, now: SimTime) -> Option<(T, SimDuration)> {
+        let q = self.items.pop_front()?;
+        let wait = now - q.enqueued_at;
+        self.total_wait += wait;
+        self.dequeued += 1;
+        Some((q.item, wait))
+    }
+
+    /// The head's enqueue time, if any.
+    pub fn head_enqueued_at(&self) -> Option<SimTime> {
+        self.items.front().map(|q| q.enqueued_at)
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Longest the queue has ever been.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Mean wait of items already dequeued.
+    pub fn mean_wait(&self) -> f64 {
+        if self.dequeued == 0 {
+            0.0
+        } else {
+            self.total_wait.as_tu() / self.dequeued as f64
+        }
+    }
+
+    /// Iterates pending items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued<T>> {
+        self.items.iter()
+    }
+}
+
+/// A keyed family of queues.
+#[derive(Debug, Clone)]
+pub struct QueueSet<T> {
+    queues: BTreeMap<TaskClass, TaskQueue<T>>,
+}
+
+impl<T> Default for QueueSet<T> {
+    fn default() -> Self {
+        QueueSet { queues: BTreeMap::new() }
+    }
+}
+
+impl<T> QueueSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes into (creating if needed) the class queue.
+    pub fn push(&mut self, class: TaskClass, item: T, now: SimTime) {
+        self.queues.entry(class).or_default().push(item, now);
+    }
+
+    /// Pops the oldest item of a class.
+    pub fn pop(&mut self, class: TaskClass, now: SimTime) -> Option<(T, SimDuration)> {
+        self.queues.get_mut(&class)?.pop(now)
+    }
+
+    /// The queue for a class, if it exists.
+    pub fn get(&self, class: TaskClass) -> Option<&TaskQueue<T>> {
+        self.queues.get(&class)
+    }
+
+    /// Total pending items across classes.
+    pub fn total_len(&self) -> usize {
+        self.queues.values().map(TaskQueue::len).sum()
+    }
+
+    /// Pending items for one stage across shapes.
+    pub fn stage_len(&self, stage: usize) -> usize {
+        self.queues.iter().filter(|(c, _)| c.stage == stage).map(|(_, q)| q.len()).sum()
+    }
+
+    /// Iterates `(class, queue)` pairs in key order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&TaskClass, &TaskQueue<T>)> {
+        self.queues.iter()
+    }
+
+    /// Classes with at least one pending item, in key order.
+    pub fn nonempty_classes(&self) -> Vec<TaskClass> {
+        self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(c, _)| *c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn fifo_order_and_waits() {
+        let mut q = TaskQueue::new();
+        q.push("a", t(0.0));
+        q.push("b", t(1.0));
+        let (a, wa) = q.pop(t(3.0)).unwrap();
+        assert_eq!(a, "a");
+        assert_eq!(wa, SimDuration::new(3.0));
+        let (b, wb) = q.pop(t(4.0)).unwrap();
+        assert_eq!(b, "b");
+        assert_eq!(wb, SimDuration::new(3.0));
+        assert!(q.pop(t(5.0)).is_none());
+        assert_eq!(q.mean_wait(), 3.0);
+        assert_eq!(q.peak_len(), 2);
+    }
+
+    #[test]
+    fn head_enqueued_at_tracks_front() {
+        let mut q = TaskQueue::new();
+        assert!(q.head_enqueued_at().is_none());
+        q.push(1, t(2.0));
+        q.push(2, t(5.0));
+        assert_eq!(q.head_enqueued_at(), Some(t(2.0)));
+        q.pop(t(6.0));
+        assert_eq!(q.head_enqueued_at(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn queue_set_routes_by_class() {
+        let mut qs: QueueSet<u32> = QueueSet::new();
+        let c1 = TaskClass { stage: 0, cores: 4 };
+        let c2 = TaskClass { stage: 0, cores: 8 };
+        let c3 = TaskClass { stage: 3, cores: 4 };
+        qs.push(c1, 10, t(0.0));
+        qs.push(c2, 20, t(0.0));
+        qs.push(c3, 30, t(0.0));
+        qs.push(c1, 11, t(1.0));
+        assert_eq!(qs.total_len(), 4);
+        assert_eq!(qs.stage_len(0), 3);
+        assert_eq!(qs.stage_len(3), 1);
+        assert_eq!(qs.pop(c1, t(2.0)).unwrap().0, 10);
+        assert_eq!(qs.get(c1).unwrap().len(), 1);
+        assert_eq!(qs.nonempty_classes(), vec![c1, c2, c3]);
+        assert!(qs.pop(TaskClass { stage: 9, cores: 1 }, t(2.0)).is_none());
+    }
+
+    #[test]
+    fn mean_wait_empty_queue() {
+        let q: TaskQueue<()> = TaskQueue::new();
+        assert_eq!(q.mean_wait(), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Horizontal-scaling policies (Table I).
+//!
+//! "Should a worker be hired from the elastic cloud to run it immediately,
+//! or should it be delayed until an existing worker becomes available?"
+//! (§III-A.2). Private capacity is always used first — it is strictly
+//! cheaper. The policies differ in what happens once the private tier is
+//! full:
+//!
+//! * **Always-scale** — hire a public worker whenever a task would wait.
+//! * **Never-scale** — never pay public prices; wait for a private worker.
+//! * **Predictive** — hire iff the Eq. 1 delay cost of the projected wait
+//!   exceeds the cost of the hire.
+
+use crate::delay_cost::{delay_cost, QueuedJobView};
+use scan_workload::reward::RewardFn;
+use serde::{Deserialize, Serialize};
+
+/// Table I's horizontal-scaling algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingPolicy {
+    /// Hire whenever a task would otherwise wait.
+    AlwaysScale,
+    /// Only ever use the private tier.
+    NeverScale,
+    /// Compare delay cost (Eq. 1) with hire cost.
+    Predictive,
+}
+
+impl ScalingPolicy {
+    /// Display name matching Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalingPolicy::AlwaysScale => "always-scale",
+            ScalingPolicy::NeverScale => "never-scale",
+            ScalingPolicy::Predictive => "predictive",
+        }
+    }
+
+    /// All three, for sweeps.
+    pub fn all() -> [ScalingPolicy; 3] {
+        [ScalingPolicy::Predictive, ScalingPolicy::AlwaysScale, ScalingPolicy::NeverScale]
+    }
+}
+
+/// Everything a scaling decision sees.
+#[derive(Debug, Clone)]
+pub struct ScalingContext {
+    /// True if the private tier can host the needed shape right now.
+    pub private_has_capacity: bool,
+    /// Jobs affected by the stall (the stalled queue, Eq. 1's `Q`).
+    pub queued: Vec<QueuedJobView>,
+    /// Projected wait until an existing worker frees up, TU.
+    pub expected_wait_tu: f64,
+    /// Public price per core·TU.
+    pub public_price_per_core_tu: f64,
+    /// Cores the new worker would need.
+    pub cores_needed: u32,
+    /// Boot penalty a new hire pays, TU.
+    pub boot_penalty_tu: f64,
+    /// Expected run time of the head task, TU.
+    pub expected_task_tu: f64,
+    /// The reward scheme in force.
+    pub reward: RewardFn,
+}
+
+/// The decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingDecision {
+    /// Hire from the private tier (free capacity exists).
+    HirePrivate,
+    /// Hire from the public tier.
+    HirePublic,
+    /// Let the task wait for an existing worker.
+    Wait,
+}
+
+impl ScalingPolicy {
+    /// Decides for one stalled queue head.
+    pub fn decide(&self, ctx: &ScalingContext) -> ScalingDecision {
+        if ctx.private_has_capacity {
+            // All policies use cheap private capacity when it exists —
+            // never-scale means "never scale *beyond the private tier*".
+            return ScalingDecision::HirePrivate;
+        }
+        match self {
+            ScalingPolicy::AlwaysScale => ScalingDecision::HirePublic,
+            ScalingPolicy::NeverScale => ScalingDecision::Wait,
+            ScalingPolicy::Predictive => {
+                // What the queue loses by waiting for an existing worker
+                // (the new hire still pays the boot penalty, so the
+                // avoided delay is wait − boot, floored at zero).
+                let avoided_delay = (ctx.expected_wait_tu - ctx.boot_penalty_tu).max(0.0);
+                let dc = delay_cost(&ctx.reward, &ctx.queued, avoided_delay);
+                // What the hire costs: public cores for boot + the task.
+                let hire_cost = ctx.public_price_per_core_tu
+                    * ctx.cores_needed as f64
+                    * (ctx.boot_penalty_tu + ctx.expected_task_tu);
+                if dc > hire_cost {
+                    ScalingDecision::HirePublic
+                } else {
+                    ScalingDecision::Wait
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(private: bool, wait: f64, queue_len: usize) -> ScalingContext {
+        ScalingContext {
+            private_has_capacity: private,
+            queued: (0..queue_len)
+                .map(|_| QueuedJobView { size_units: 5.0, ett: 15.0 })
+                .collect(),
+            expected_wait_tu: wait,
+            public_price_per_core_tu: 50.0,
+            cores_needed: 4,
+            boot_penalty_tu: 0.5,
+            expected_task_tu: 3.0,
+            reward: RewardFn::paper_time_based(),
+        }
+    }
+
+    #[test]
+    fn everyone_prefers_private() {
+        for p in ScalingPolicy::all() {
+            assert_eq!(p.decide(&ctx(true, 10.0, 5)), ScalingDecision::HirePrivate);
+        }
+    }
+
+    #[test]
+    fn always_scale_always_hires_public() {
+        assert_eq!(
+            ScalingPolicy::AlwaysScale.decide(&ctx(false, 0.1, 0)),
+            ScalingDecision::HirePublic
+        );
+    }
+
+    #[test]
+    fn never_scale_always_waits() {
+        assert_eq!(
+            ScalingPolicy::NeverScale.decide(&ctx(false, 100.0, 50)),
+            ScalingDecision::Wait
+        );
+    }
+
+    #[test]
+    fn predictive_hires_under_pressure() {
+        // Long wait, deep queue: delay cost = 20 jobs × 5 units × 15 ×
+        // (10 − 0.5) ≈ 14 250 ≫ hire cost 50 × 4 × 3.5 = 700.
+        assert_eq!(
+            ScalingPolicy::Predictive.decide(&ctx(false, 10.0, 20)),
+            ScalingDecision::HirePublic
+        );
+    }
+
+    #[test]
+    fn predictive_waits_when_cheap() {
+        // Tiny wait: avoided delay ≈ 0 → cost of waiting ≈ 0 < hire cost.
+        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 0.4, 20)), ScalingDecision::Wait);
+        // Empty queue: nothing to lose by waiting.
+        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 10.0, 0)), ScalingDecision::Wait);
+    }
+
+    #[test]
+    fn predictive_threshold_scales_with_price() {
+        // A wait that justifies hiring at 50 CU may not at 1000 CU:
+        // DC = 3 × 5 × 15 × (5 − 0.5) ≈ 1012 vs hire 50 × 4 × 3.5 = 700.
+        let mut c = ctx(false, 5.0, 3);
+        assert_eq!(ScalingPolicy::Predictive.decide(&c), ScalingDecision::HirePublic);
+        c.public_price_per_core_tu = 1000.0;
+        assert_eq!(ScalingPolicy::Predictive.decide(&c), ScalingDecision::Wait);
+    }
+
+    #[test]
+    fn names_match_table_i() {
+        assert_eq!(ScalingPolicy::AlwaysScale.name(), "always-scale");
+        assert_eq!(ScalingPolicy::NeverScale.name(), "never-scale");
+        assert_eq!(ScalingPolicy::Predictive.name(), "predictive");
+    }
+}

@@ -1,0 +1,238 @@
+//! The pending-event set: a deterministic priority queue over [`SimTime`].
+//!
+//! Simultaneous events are delivered in the order they were scheduled
+//! (FIFO tie-breaking via a monotonic sequence number), which makes whole
+//! simulation runs bit-reproducible — a requirement inherited from the
+//! paper's "repeat 10 times, report mean ± σ" methodology, where each
+//! repetition must be a pure function of its seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with the instant at which it fires.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Scheduling sequence number; earlier-scheduled events fire first
+    /// among simultaneous ones.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering so the earliest instant
+// (and, within an instant, the lowest sequence number) is popped first.
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event calendar.
+///
+/// ```
+/// use scan_sim::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::new(2.0), "late");
+/// cal.schedule(SimTime::new(1.0), "early");
+/// cal.schedule(SimTime::new(1.0), "early-second");
+///
+/// assert_eq!(cal.pop().unwrap().event, "early");
+/// assert_eq!(cal.pop().unwrap().event, "early-second");
+/// assert_eq!(cal.pop().unwrap().event, "late");
+/// assert!(cal.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar with the clock at zero.
+    pub fn new() -> Self {
+        Calendar { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Creates an empty calendar with pre-allocated capacity for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        Calendar { heap: BinaryHeap::with_capacity(n), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current simulation instant: the fire time of the last popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — causality violations are programming
+    /// errors, not recoverable conditions.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({} < now {})",
+            at.as_tu(),
+            self.now.as_tu()
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Pops the next event in (time, schedule-order) order and advances the
+    /// clock to its fire time. Returns `None` when the calendar is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// The fire time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drops every pending event, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(3.0), 3u32);
+        cal.schedule(SimTime::new(1.0), 1);
+        cal.schedule(SimTime::new(2.0), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100u32 {
+            cal.schedule(SimTime::new(5.0), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(1.5), ());
+        cal.schedule(SimTime::new(4.0), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::new(1.5));
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::new(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(2.0), ());
+        cal.pop();
+        cal.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(7.0), ());
+        assert_eq!(cal.peek_time(), Some(SimTime::new(7.0)));
+        assert_eq!(cal.now(), SimTime::ZERO);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_clock() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(1.0), ());
+        cal.schedule(SimTime::new(2.0), ());
+        cal.pop();
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.now(), SimTime::new(1.0));
+        assert_eq!(cal.scheduled_total(), 2);
+    }
+
+    proptest! {
+        /// Whatever order events are scheduled in, they pop in
+        /// non-decreasing time order, and equal times pop in scheduling
+        /// order.
+        #[test]
+        fn prop_pop_order_is_sorted_and_stable(times in proptest::collection::vec(0.0f64..100.0, 1..200)) {
+            let mut cal = Calendar::new();
+            for (i, t) in times.iter().enumerate() {
+                cal.schedule(SimTime::new(*t), i);
+            }
+            let mut last = (SimTime::ZERO, 0usize);
+            let mut first = true;
+            let mut popped = 0;
+            while let Some(ev) = cal.pop() {
+                if !first {
+                    prop_assert!(ev.at >= last.0);
+                    if ev.at == last.0 {
+                        prop_assert!(ev.event > last.1, "FIFO violated among ties");
+                    }
+                }
+                last = (ev.at, ev.event);
+                first = false;
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+        }
+    }
+}

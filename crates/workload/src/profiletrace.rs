@@ -1,0 +1,127 @@
+//! Synthetic offline-profiling traces for knowledge-base bootstrap.
+//!
+//! §III-A.1: "we profiled GATK performance under different hardware
+//! configurations and with different inputs. The datasets include genome
+//! inputs of different sizes, ranging from 1GByte to 9GBytes." This module
+//! replays that study against the analytic stage models (plus measurement
+//! noise) and emits [`ProfileRecord`]s the knowledge base ingests — so the
+//! scheduler's estimators run on *learned* coefficients, closing the loop
+//! the paper describes.
+
+use crate::gatk::PipelineModel;
+use scan_kb::ProfileRecord;
+use scan_sim::SimRng;
+
+/// The paper's profiling grid: input sizes 1–9 GB.
+pub const PROFILE_SIZES_GB: [f64; 5] = [1.0, 3.0, 5.0, 7.0, 9.0];
+
+/// Thread counts profiled (the instance catalogue).
+pub const PROFILE_THREADS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Generates a profiling trace for every stage of `model`: each (size,
+/// threads) cell is measured `replicates` times with multiplicative
+/// Gaussian noise of relative σ `noise`.
+pub fn generate_profile_trace(
+    model: &PipelineModel,
+    application: &str,
+    replicates: usize,
+    noise: f64,
+    rng: &mut SimRng,
+) -> Vec<ProfileRecord> {
+    assert!(replicates >= 1);
+    assert!((0.0..0.5).contains(&noise), "relative noise must be in [0, 0.5)");
+    let mut out = Vec::new();
+    for (stage_idx, factors) in model.stages.iter().enumerate() {
+        for &size_gb in &PROFILE_SIZES_GB {
+            for &threads in &PROFILE_THREADS {
+                for _ in 0..replicates {
+                    let truth = factors.threaded_time(threads, size_gb);
+                    let factor = 1.0 + noise * rng.standard_normal();
+                    let e_time = (truth * factor.max(0.1)).max(1e-3);
+                    out.push(ProfileRecord {
+                        application: application.to_string(),
+                        stage: (stage_idx + 1) as u32,
+                        input_gb: size_gb,
+                        threads,
+                        ram_gb: 4.0,
+                        e_time,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatk::PAPER_STAGE_FACTORS;
+    use scan_kb::KnowledgeBase;
+
+    #[test]
+    fn trace_covers_the_grid() {
+        let model = PipelineModel::paper();
+        let mut rng = SimRng::from_seed_u64(1);
+        let trace = generate_profile_trace(&model, "GATK", 2, 0.0, &mut rng);
+        assert_eq!(trace.len(), 7 * 5 * 5 * 2);
+        assert!(trace.iter().all(|r| r.application == "GATK"));
+        assert!(trace.iter().any(|r| r.stage == 7));
+        assert!(trace.iter().any(|r| r.threads == 16));
+    }
+
+    #[test]
+    fn noiseless_trace_reproduces_table_ii_exactly() {
+        let model = PipelineModel::paper();
+        let mut rng = SimRng::from_seed_u64(2);
+        let trace = generate_profile_trace(&model, "GATK", 1, 0.0, &mut rng);
+        let mut kb = KnowledgeBase::new();
+        for r in &trace {
+            kb.ingest(r);
+        }
+        for (i, truth) in PAPER_STAGE_FACTORS.iter().enumerate() {
+            let m = kb.stage_model("GATK", (i + 1) as u32).expect("model learned");
+            assert!((m.a - truth.a).abs() < 1e-6, "stage {} a: {} vs {}", i + 1, m.a, truth.a);
+            assert!((m.b - truth.b).abs() < 1e-6, "stage {} b: {} vs {}", i + 1, m.b, truth.b);
+            assert!((m.c - truth.c).abs() < 1e-4, "stage {} c: {} vs {}", i + 1, m.c, truth.c);
+        }
+    }
+
+    #[test]
+    fn noisy_trace_recovers_table_ii_approximately() {
+        let model = PipelineModel::paper();
+        let mut rng = SimRng::from_seed_u64(3);
+        let trace = generate_profile_trace(&model, "GATK", 5, 0.03, &mut rng);
+        let mut kb = KnowledgeBase::new();
+        for r in &trace {
+            kb.ingest(r);
+        }
+        for (i, truth) in PAPER_STAGE_FACTORS.iter().enumerate() {
+            let m = kb.stage_model("GATK", (i + 1) as u32).expect("model learned");
+            assert!(
+                (m.a - truth.a).abs() < 0.15 * truth.a.abs().max(0.2),
+                "stage {} a: {} vs {}",
+                i + 1,
+                m.a,
+                truth.a
+            );
+            assert!((m.c - truth.c).abs() < 0.1, "stage {} c: {} vs {}", i + 1, m.c, truth.c);
+        }
+    }
+
+    #[test]
+    fn etimes_are_positive() {
+        let model = PipelineModel::paper();
+        let mut rng = SimRng::from_seed_u64(4);
+        let trace = generate_profile_trace(&model, "GATK", 3, 0.2, &mut rng);
+        assert!(trace.iter().all(|r| r.e_time > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "relative noise")]
+    fn excessive_noise_rejected() {
+        let model = PipelineModel::paper();
+        let mut rng = SimRng::from_seed_u64(5);
+        generate_profile_trace(&model, "GATK", 1, 0.9, &mut rng);
+    }
+}

@@ -1,0 +1,109 @@
+//! The SCAN knowledge base in action: ontology, SPARQL, profiling logs
+//! and sharding advice.
+//!
+//! Reproduces §III-A.1's workflow: build the SCAN ontology (domain +
+//! cloud + linker), ingest the paper's GATK1–GATK4 profiling instances,
+//! query them with SPARQL (including the ranking query the Data Broker
+//! issues), and ask for chunk-size advice for a 100 GB input.
+//!
+//! Run with: `cargo run --release --example knowledge_base`
+
+use scan::kb::ontology::iri::SCAN_NS;
+use scan::kb::{parse_query, KnowledgeBase, ProfileRecord};
+
+fn main() {
+    let mut kb = KnowledgeBase::new();
+
+    // Before any profiling, advice falls back to the paper's 2 GB default.
+    let advice = kb.advise_chunk("GATK", 100.0);
+    println!(
+        "uninformed advice for 100 GB: {} chunks of {} GB (informed: {})",
+        advice.shards, advice.chunk_gb, advice.informed
+    );
+
+    // Ingest the paper's §III-A.1 knowledge-base expansion: GATK1..GATK4.
+    for (size, etime) in [(10.0, 180.0), (5.0, 200.0), (20.0, 280.0), (4.0, 80.0)] {
+        kb.ingest(&ProfileRecord {
+            application: "GATK".into(),
+            stage: 1,
+            input_gb: size,
+            threads: 8,
+            ram_gb: 4.0,
+            e_time: etime,
+        });
+    }
+    println!("\ningested {} GATK profiling instances", kb.profile_count("GATK"));
+
+    // The Data Broker's ranking query (the paper's SPARQL,§III-A.1(ii)),
+    // ranked by execution time per GB.
+    let query = parse_query(&format!(
+        "PREFIX scan: <{SCAN_NS}>
+         SELECT ?app ?size ?t WHERE {{
+             ?app a scan:Application .
+             ?app scan:inputFileSize ?size .
+             ?app scan:eTime ?t .
+         }} ORDER BY ASC(?t / ?size)"
+    ))
+    .expect("query parses");
+    let results = query.execute(kb.ontology().store()).expect("query runs");
+    println!("\nGATK instances ranked by eTime/inputFileSize:");
+    for row in results.rows() {
+        let app = row.get("app").unwrap().as_iri().unwrap();
+        let size = row.get("size").unwrap().as_f64().unwrap();
+        let t = row.get("t").unwrap().as_f64().unwrap();
+        println!(
+            "  {:<12} {:>5.0} GB  eTime {:>5.0}  ({:.1} TU/GB)",
+            app.rsplit('#').next().unwrap(),
+            size,
+            t,
+            t / size
+        );
+    }
+
+    // Informed advice now mirrors the best-ranked observation.
+    let advice = kb.advise_chunk("GATK", 100.0);
+    println!(
+        "\ninformed advice for 100 GB: {} chunks of {} GB on {} cores (informed: {})",
+        advice.shards, advice.chunk_gb, advice.cpu, advice.informed
+    );
+
+    // The cloud side of the ontology answers deployment questions too.
+    let q = parse_query(&format!(
+        "PREFIX scan: <{SCAN_NS}>
+         SELECT ?tier ?cost WHERE {{
+             ?tier a scan:CloudTier .
+             ?tier scan:costPerCoreTu ?cost .
+         }} ORDER BY ?cost"
+    ))
+    .expect("parses");
+    println!("\ncloud ontology tiers:");
+    for row in q.execute(kb.ontology().store()).expect("runs").rows() {
+        println!(
+            "  {:<14} {} CU per core-TU",
+            row.get("tier").unwrap().as_iri().unwrap().rsplit('#').next().unwrap(),
+            row.get("cost").unwrap().as_f64().unwrap()
+        );
+    }
+
+    // Stage-model learning: feed a profiling grid for stage 3 and recover
+    // Table II's coefficients by regression.
+    for d in [1.0, 3.0, 5.0, 7.0, 9.0] {
+        for t in [1u32, 2, 4, 8, 16] {
+            let e = 1.74 * d + 3.93; // Table II stage 3
+            let time = 0.69 * e / t as f64 + 0.31 * e;
+            kb.ingest(&ProfileRecord {
+                application: "GATK".into(),
+                stage: 3,
+                input_gb: d,
+                threads: t,
+                ram_gb: 4.0,
+                e_time: time,
+            });
+        }
+    }
+    let m = kb.stage_model("GATK", 3).expect("enough data");
+    println!(
+        "\nlearned stage-3 model: E(d) = {:.3}·d + {:.3}, Amdahl c = {:.3} (Table II: 1.74, 3.93, 0.69)",
+        m.a, m.b, m.c
+    );
+}

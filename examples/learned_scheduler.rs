@@ -1,0 +1,48 @@
+//! The §VI future-work extension in action: the ε-greedy learned
+//! allocation policy vs the published best-constant baseline.
+//!
+//! "We also plan to adopt learning algorithms to guide the Scheduler."
+//! The learned policy runs in epochs: each replan period one candidate
+//! plan (bandit arm) serves all arriving jobs; the epoch's realised profit
+//! per run updates the arm. Arms are warm-started from the knowledge-base
+//! model's predicted profits, so exploration refines the analytic ranking
+//! instead of starting blind.
+//!
+//! Run with: `cargo run --release --example learned_scheduler`
+
+use scan::platform::config::{ScanConfig, VariableParams};
+use scan::platform::sweep::run_replicated;
+use scan::sched::alloc::AllocationPolicy;
+use scan::sched::scaling::ScalingPolicy;
+
+fn main() {
+    println!("Learned (ε-greedy) allocation vs the Table I policies");
+    println!("(time-based reward, predictive scaling, 3 repetitions, 3,000 TU)\n");
+    println!("{:>20} | {:>18} | {:>10} | {:>8}", "allocation", "profit/run (CU)", "r/c", "latency");
+    println!("{}", "-".repeat(68));
+
+    for allocation in [
+        AllocationPolicy::BestConstant,
+        AllocationPolicy::Greedy,
+        AllocationPolicy::LongTerm,
+        AllocationPolicy::LongTermAdaptive,
+        AllocationPolicy::Learned,
+    ] {
+        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.2), 99);
+        cfg.variable.allocation = allocation;
+        cfg.fixed.sim_time_tu = 3_000.0;
+        let m = run_replicated(&cfg, 3);
+        println!(
+            "{:>20} | {:>8.1} ± {:>6.1} | {:>10.2} | {:>8.2}",
+            allocation.name(),
+            m.profit_per_run.mean(),
+            m.profit_per_run.stddev(),
+            m.reward_to_cost.mean(),
+            m.mean_latency.mean(),
+        );
+    }
+
+    println!("\nThe learned policy pays a small exploration tax early, then tracks the");
+    println!("best arm; with drifting workloads (see tests/kb_feedback.rs) the online");
+    println!("feedback is what keeps the ranking honest.");
+}

@@ -1,0 +1,42 @@
+//! Compare the three horizontal-scaling policies across the load spectrum
+//! — a miniature of Figure 4.
+//!
+//! Sweeps the mean inter-arrival interval from saturating (0.5 TU) to
+//! quiet (1.5 TU) and prints mean profit per pipeline run for predictive,
+//! always-scale and never-scale, 3 repetitions each.
+//!
+//! Run with: `cargo run --release --example scaling_comparison`
+
+use scan::platform::config::{ScanConfig, VariableParams};
+use scan::platform::sweep::run_replicated;
+use scan::sched::scaling::ScalingPolicy;
+
+fn main() {
+    println!("Mean profit per pipeline run (CU) vs load, per scaling policy");
+    println!("(time-based reward, public cores at 50 CU/TU, best-constant plans)\n");
+    println!(
+        "{:>9} | {:>12} | {:>12} | {:>12}",
+        "interval", "predictive", "always", "never"
+    );
+    println!("{}", "-".repeat(56));
+
+    for i in 0..=5 {
+        let interval = 0.5 + 0.2 * i as f64;
+        let mut row = format!("{interval:>9.1}");
+        for scaling in
+            [ScalingPolicy::Predictive, ScalingPolicy::AlwaysScale, ScalingPolicy::NeverScale]
+        {
+            let mut cfg = ScanConfig::new(VariableParams::fig4(scaling, interval), 7);
+            cfg.fixed.sim_time_tu = 2_000.0;
+            let m = run_replicated(&cfg, 3);
+            row.push_str(&format!(" | {:>12.1}", m.profit_per_run.mean()));
+        }
+        println!("{row}");
+    }
+
+    println!("\nReading the table:");
+    println!("  - at 0.5 TU the private tier saturates: never-scale lets queues grow");
+    println!("    (profit collapses), always-scale buys public cores, predictive");
+    println!("    weighs the Eq. 1 delay cost against the hire cost;");
+    println!("  - at 1.5 TU the cluster is quiet and the policies converge.");
+}

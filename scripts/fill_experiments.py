@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Paste the fig4/fig5 result tables into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py <fig4_output> <fig5_output>
+
+Replaces the `<!-- FIG4_CALIBRATED_TABLE -->` and `<!-- FIG5_TABLE -->`
+markers with fenced code blocks containing the harness output, so the
+recorded numbers always come from an actual run.
+"""
+
+import sys
+from pathlib import Path
+
+
+def extract(path: str, start_marker: str) -> str:
+    lines = Path(path).read_text().splitlines()
+    try:
+        start = next(i for i, l in enumerate(lines) if start_marker in l)
+    except StopIteration:
+        raise SystemExit(f"marker {start_marker!r} not found in {path}")
+    out = []
+    for line in lines[start:]:
+        if line.startswith("(") or line.startswith("Shape criteria"):
+            break
+        out.append(line.rstrip())
+    while out and not out[-1].strip():
+        out.pop()
+    return "\n".join(out)
+
+
+def main() -> None:
+    fig4_path, fig5_path = sys.argv[1], sys.argv[2]
+    fig4 = extract(fig4_path, "calibrated load axis")
+    fig5 = extract(fig5_path, "core-stages |")
+    best = next(
+        (l for l in Path(fig5_path).read_text().splitlines() if l.startswith("Best configuration")),
+        "",
+    )
+    exp = Path("EXPERIMENTS.md")
+    text = exp.read_text()
+    text = text.replace("<!-- FIG4_CALIBRATED_TABLE -->", f"```text\n{fig4}\n```")
+    text = text.replace("<!-- FIG5_TABLE -->", f"```text\n{fig5}\n{best}\n```")
+    exp.write_text(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+//! # SCAN — facade crate
+//!
+//! Re-exports the whole SCAN workspace behind one dependency, so downstream
+//! users (and this repo's `examples/` and `tests/`) can write
+//! `use scan::platform::Session` instead of depending on seven crates.
+//!
+//! The workspace reproduces *SCAN: A Smart Application Platform for
+//! Empowering Parallelizations of Big Genomic Data Analysis in Clouds*
+//! (Xing, Jie, Miller — ICPP 2015). See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+/// Discrete-event simulation kernel (clock, calendar, RNG, statistics).
+pub use scan_sim as sim;
+
+/// Knowledge base: triple store, ontology, SPARQL-subset engine, regression.
+pub use scan_kb as kb;
+
+/// Genomic data substrate: FASTQ/BAM/VCF models, sharders, toy pipeline.
+pub use scan_genomics as genomics;
+
+/// Hybrid cloud model: tiers, instances, VM lifecycle, billing.
+pub use scan_cloud as cloud;
+
+/// Workload model: GATK stage models, arrivals, reward functions.
+pub use scan_workload as workload;
+
+/// Scheduler: queues, estimators, delay cost, scaling/allocation policies.
+pub use scan_sched as sched;
+
+/// The SCAN platform facade: broker + scheduler + workers + sessions.
+pub use scan_platform as platform;

@@ -1,0 +1,82 @@
+//! Integration: the functional genomics substrate end to end — the path
+//! the `gatk_pipeline` example takes, with assertions.
+
+use scan::genomics::fastq::{parse_fastq, write_fastq};
+use scan::genomics::pipeline::GatkLikePipeline;
+use scan::genomics::shard::{merge_fastq, shard_fastq};
+use scan::genomics::variant::{merge_vcf, parse_vcf, write_vcf};
+use scan::genomics::{AlignStats, KmerIndex, ReadSimulator, ReferenceGenome};
+use scan::sim::SimRng;
+
+#[test]
+fn sequencing_to_vcf_recovers_planted_truth() {
+    let mut rng = SimRng::from_seed_u64(7_001);
+    let reference = ReferenceGenome::generate(&mut rng, 2, 6_000);
+    let (sample, planted) = reference.plant_variants(&mut rng, 15);
+
+    let sim = ReadSimulator { read_len: 100, error_rate: 0.002, reverse_prob: 0.5 };
+    let reads = sim.simulate(&mut rng, &sample, 3_600); // ~30x
+
+    // Through the FASTQ byte-level round trip, as the broker would see it.
+    let fastq = write_fastq(&reads);
+    let shards = shard_fastq(&fastq, 64 * 1024).expect("valid FASTQ");
+    assert!(shards.len() > 1);
+    assert_eq!(merge_fastq(&shards), fastq, "sharding must be lossless");
+
+    let index = KmerIndex::build(&reference, 17);
+    let mut aligned_shards = Vec::new();
+    for shard in &shards {
+        let shard_reads = parse_fastq(shard).expect("each shard parses alone");
+        aligned_shards.push(index.align_batch(&reference, &shard_reads));
+    }
+    let all: Vec<_> = aligned_shards.iter().flatten().cloned().collect();
+    let stats = AlignStats::score(&all);
+    assert!(stats.accuracy() > 0.95, "alignment accuracy {}", stats.accuracy());
+
+    let result = GatkLikePipeline::default().run(&reference, aligned_shards);
+    let called: std::collections::HashSet<(u32, u32, char)> =
+        result.variants.iter().map(|v| (v.chrom, v.pos, v.alt_base)).collect();
+    let found = planted
+        .iter()
+        .filter(|v| called.contains(&(v.chrom, v.pos, v.alt_base as char)))
+        .count();
+    assert!(found >= 13, "recovered {found}/15 planted variants");
+
+    // The VCF output round-trips as text.
+    let text = write_vcf(&result.variants);
+    let back = parse_vcf(&text).expect("well-formed VCF");
+    assert_eq!(back.len(), result.variants.len());
+}
+
+#[test]
+fn per_shard_vcfs_merge_like_variants_to_vcf() {
+    let mut rng = SimRng::from_seed_u64(7_002);
+    let reference = ReferenceGenome::generate(&mut rng, 1, 4_000);
+    let (sample, _) = reference.plant_variants(&mut rng, 8);
+    let sim = ReadSimulator { read_len: 100, error_rate: 0.001, reverse_prob: 0.5 };
+    let reads = sim.simulate(&mut rng, &sample, 1_600);
+    let index = KmerIndex::build(&reference, 17);
+    let alignments = index.align_batch(&reference, &reads);
+
+    // Call per shard, then gather with the VariantsToVCF-style merge.
+    let caller = scan::genomics::variant::VariantCaller { min_depth: 2, ..Default::default() };
+    let shard_calls: Vec<Vec<_>> =
+        alignments.chunks(400).map(|c| caller.call(&reference, c)).collect();
+    let merged = merge_vcf(&shard_calls);
+
+    // Sorted, and each site unique per alt allele.
+    let mut seen = std::collections::HashSet::new();
+    let mut last = (0u32, 0u32);
+    for v in &merged {
+        assert!((v.chrom, v.pos) >= last, "merge output must be coordinate-sorted");
+        last = (v.chrom, v.pos);
+        assert!(seen.insert((v.chrom, v.pos, v.alt_base)), "duplicate site after merge");
+    }
+    // Depth in the merge is the sum over shards.
+    let whole = caller.call(&reference, &alignments);
+    for v in &whole {
+        if let Some(m) = merged.iter().find(|m| (m.chrom, m.pos, m.alt_base) == (v.chrom, v.pos, v.alt_base)) {
+            assert!(m.depth >= v.depth.min(2), "merged depth must reflect shard evidence");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration: reduced-horizon versions of the paper's figure-level
+//! *shape* claims, kept cheap enough for the normal test run. The real
+//! experiments live in `scan-bench` (`fig4`, `fig5`, `sweep`).
+
+use scan::platform::config::{RewardKind, ScanConfig, VariableParams};
+use scan::platform::sweep::run_replicated;
+use scan::sched::scaling::ScalingPolicy;
+
+fn fig4_cfg(scaling: ScalingPolicy, interval: f64) -> ScanConfig {
+    let mut cfg = ScanConfig::new(VariableParams::fig4(scaling, interval), 2015);
+    cfg.fixed.sim_time_tu = 500.0;
+    cfg
+}
+
+/// Fig. 4's light-load end: the three policies converge (the private tier
+/// absorbs everything), and profit is positive.
+#[test]
+fn fig4_light_load_convergence() {
+    let profits: Vec<f64> = ScalingPolicy::all()
+        .iter()
+        .map(|&s| run_replicated(&fig4_cfg(s, 1.4), 3).profit_per_run.mean())
+        .collect();
+    for p in &profits {
+        assert!(*p > 0.0, "light-load profit should be positive: {profits:?}");
+    }
+    let spread = profits.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - profits.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 100.0, "policies should converge at light load: {profits:?}");
+}
+
+/// Fig. 4's busy end: never-scale collapses; predictive stays closest to
+/// the best.
+#[test]
+fn fig4_heavy_load_separation() {
+    let pred = run_replicated(&fig4_cfg(ScalingPolicy::Predictive, 0.45), 2);
+    let always = run_replicated(&fig4_cfg(ScalingPolicy::AlwaysScale, 0.45), 2);
+    let never = run_replicated(&fig4_cfg(ScalingPolicy::NeverScale, 0.45), 2);
+    let (p, a, n) =
+        (pred.profit_per_run.mean(), always.profit_per_run.mean(), never.profit_per_run.mean());
+    assert!(
+        p >= a.max(n) - 25.0,
+        "predictive ({p:.0}) must track the better baseline (always {a:.0}, never {n:.0})"
+    );
+    assert!(n < p, "never-scale must trail under saturation (never {n:.0} vs pred {p:.0})");
+    // Collapse: the busy end must be dramatically below the quiet end.
+    let quiet = run_replicated(&fig4_cfg(ScalingPolicy::NeverScale, 1.4), 3);
+    assert!(
+        n < quiet.profit_per_run.mean() - 100.0,
+        "never-scale busy {n:.0} vs quiet {:.0}",
+        quiet.profit_per_run.mean()
+    );
+}
+
+/// Fig. 5's shape: on the plan-size ladder, the reward-to-cost ratio
+/// rises from the serial plan to a sweet spot and falls again for
+/// over-provisioned plans.
+#[test]
+fn fig5_ratio_rises_then_falls() {
+    let plans: [(u32, Vec<(u32, u32)>); 3] = [
+        (7, vec![(1, 1); 7]),
+        // A mid-size plan: shard the a-heavy stages, thread stage 5.
+        (22, vec![(1, 2), (4, 1), (1, 2), (4, 1), (1, 8), (1, 1), (1, 1)]),
+        // An over-provisioned plan: heavy threading everywhere.
+        (67, vec![(1, 8), (6, 1), (2, 8), (6, 2), (1, 16), (1, 8), (1, 1)]),
+    ];
+    let mut ratios = Vec::new();
+    for (cs, stages) in plans {
+        let mut cfg = ScanConfig::new(
+            VariableParams {
+                allocation: scan::sched::alloc::AllocationPolicy::BestConstant,
+                scaling: ScalingPolicy::Predictive,
+                mean_interval: 2.0,
+                reward: RewardKind::ThroughputBased,
+                public_core_cost: 50.0,
+            },
+            2015,
+        );
+        cfg.fixed.sim_time_tu = 700.0;
+        cfg.allow_reshape = true;
+        cfg.forced_plan = Some(stages.clone());
+        let plan_cs: u32 = stages.iter().map(|&(s, t)| s * t).sum();
+        assert_eq!(plan_cs, cs);
+        ratios.push(run_replicated(&cfg, 2).reward_to_cost.mean());
+    }
+    assert!(
+        ratios[1] > ratios[0],
+        "mid-size plan must beat serial: {ratios:?}"
+    );
+    assert!(
+        ratios[1] > ratios[2],
+        "over-provisioned plan must fall off the peak: {ratios:?}"
+    );
+}
