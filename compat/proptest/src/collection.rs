@@ -1,0 +1,114 @@
+//! Collection strategies: `vec` and `btree_set` with size ranges.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy producing a `Vec` of `size` elements drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Vec of values from `element`, with length in `size` (half-open, like
+/// upstream's `SizeRange` from a `Range`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing a `BTreeSet` whose size lands in `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// BTreeSet of distinct values from `element`, with cardinality in `size`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty set size range");
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set, so keep drawing; cap the attempts in
+        // case the element domain is smaller than the requested size.
+        let mut attempts = 0usize;
+        let max_attempts = 64 * target.max(1) + 64;
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        assert!(
+            out.len() >= self.size.start,
+            "btree_set strategy could not reach minimum size {} (element domain too small?)",
+            self.size.start,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements_in_range() {
+        let s = vec(0u32..6, 0..60);
+        let mut r = TestRng::new(1, 1);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v.len() < 60);
+            assert!(v.iter().all(|&x| x < 6));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples() {
+        let s = vec((1.0f64..10.0, 0.5f64..100.0), 2..20);
+        let mut r = TestRng::new(2, 0);
+        let v = s.generate(&mut r);
+        assert!((2..20).contains(&v.len()));
+    }
+
+    #[test]
+    fn set_respects_minimum() {
+        let s = btree_set(-1000i32..1000, 2..40);
+        let mut r = TestRng::new(3, 5);
+        for _ in 0..50 {
+            let set = s.generate(&mut r);
+            assert!((2..40).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "could not reach minimum size")]
+    fn impossible_set_is_loud() {
+        // Only 2 distinct values but a minimum size of 10.
+        let s = btree_set(0u8..2, 10..12);
+        let mut r = TestRng::new(4, 0);
+        let _ = s.generate(&mut r);
+    }
+}

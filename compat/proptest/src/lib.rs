@@ -1,0 +1,207 @@
+//! Offline stand-in for `proptest` covering the subset this workspace's
+//! property tests use: the `proptest!` macro over `arg in strategy`
+//! bindings, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, numeric
+//! range strategies, character-class string strategies (`"[a-z]{1,8}"`),
+//! tuple strategies, and `collection::{vec, btree_set}`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   debug representation instead of a minimised counterexample.
+//! * **Deterministic generation.** Cases derive from a splitmix64 stream
+//!   seeded by the test name, so failures reproduce exactly on re-run
+//!   (upstream defaults to OS-random seeds plus a regression file).
+//! * **256 cases per property** (upstream also runs 256 by default).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection;
+
+/// What `use proptest::prelude::*;` brings in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Number of generated cases per property test.
+pub const CASES: u32 = 256;
+
+/// FNV-1a over the test name: a stable per-test base seed.
+pub fn seed_for_test_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let base = $crate::seed_for_test_name(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            while accepted < $crate::CASES {
+                // Give up if the prop_assume! rejection rate is hopeless,
+                // mirroring upstream's "too many global rejects" error.
+                if attempt > ($crate::CASES as u64) * 32 {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} accepted of {} attempts)",
+                        stringify!($name), accepted, attempt,
+                    );
+                }
+                let mut rng = $crate::test_runner::TestRng::new(base, attempt);
+                attempt += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                )+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match result {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed (case seed {}/{}): {}\n  inputs: {}",
+                            stringify!($name),
+                            base,
+                            attempt - 1,
+                            msg,
+                            format!(
+                                concat!($(concat!(stringify!($arg), " = {:?}  ")),+),
+                                $(&$arg),+
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(concat!("{:?} == {:?}: ", $($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3usize..17,
+            y in -50i32..-10,
+            z in 0u8..=4,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-50..-10).contains(&y));
+            prop_assert!(z <= 4);
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn string_class_matches(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.bytes().all(|b| (b'a'..=b'c').contains(&b)));
+        }
+
+        #[test]
+        fn vec_and_set_sizes(
+            v in crate::collection::vec((0u32..6, 0.0f64..1.0), 0..9),
+            s in crate::collection::btree_set(-100i32..100, 2..8),
+        ) {
+            prop_assert!(v.len() < 9);
+            prop_assert!((2..8).contains(&s.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let s = 1.0f64..2.0;
+        let base = crate::seed_for_test_name("x");
+        let a: Vec<f64> =
+            (0..5).map(|i| s.generate(&mut crate::test_runner::TestRng::new(base, i))).collect();
+        let b: Vec<f64> =
+            (0..5).map(|i| s.generate(&mut crate::test_runner::TestRng::new(base, i))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'failing_property' failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn failing_property(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        failing_property();
+    }
+}

@@ -1,0 +1,208 @@
+//! Value-generation strategies for the proptest stand-in.
+//!
+//! A [`Strategy`] here is just "something that can produce a value from a
+//! [`TestRng`]" — no shrink trees. Ranges, range-inclusives, `&str`
+//! character-class patterns, and tuples of strategies are covered, which
+//! is the full surface the workspace's `proptest!` blocks use.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Produces one value per call; the macro calls this once per argument
+/// per case.
+pub trait Strategy {
+    /// Type of value this strategy generates.
+    type Value;
+    /// Generates a fresh value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide - self.start as $wide) as u64;
+                (self.start as $wide + rng.below(span) as $wide) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide - lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide + rng.below(span + 1) as $wide) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_ranges! {
+    u8 => i64, u16 => i64, u32 => i64, usize => i128, u64 => i128,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i128, isize => i128,
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.uniform01() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.uniform01() as f32) * (self.end - self.start)
+    }
+}
+
+/// `&str` strategies are character-class patterns: `"[a-zA-Z0-9_]{1,30}"`.
+///
+/// Supported grammar (everything the workspace uses): one bracketed class
+/// of literal characters and `x-y` ranges, followed by `{n}` or `{m,n}`.
+/// Anything else panics with a pointer here, so a new pattern shows up as
+/// a loud test error rather than silently wrong data.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, min_len, max_len).
+fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let unsupported = || -> ! {
+        panic!(
+            "unsupported string strategy pattern {pat:?}: the offline proptest \
+             stand-in only understands \"[class]{{m,n}}\" (see compat/proptest)"
+        )
+    };
+    let rest = pat.strip_prefix('[').unwrap_or_else(|| unsupported());
+    let (class, counts) = rest.split_once(']').unwrap_or_else(|| unsupported());
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                unsupported();
+            }
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        unsupported();
+    }
+
+    let counts =
+        counts.strip_prefix('{').and_then(|c| c.strip_suffix('}')).unwrap_or_else(|| unsupported());
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok(), n.trim().parse().ok()),
+        None => {
+            let n = counts.trim().parse().ok();
+            (n, n)
+        }
+    };
+    match (min, max) {
+        (Some(m), Some(n)) if m <= n => (alphabet, m, n),
+        _ => unsupported(),
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDEAD, 0)
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds_eventually() {
+        let s = 0u8..=3;
+        let mut seen = [false; 4];
+        let mut r = rng();
+        for _ in 0..200 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all values of a tiny range should appear");
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let s = -1000i32..1000;
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = s.generate(&mut r);
+            assert!((-1000..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn class_pattern_parses() {
+        let (alpha, m, n) = parse_class_pattern("[a-cXw-z_/]{2,7}");
+        let expect: Vec<char> = vec!['a', 'b', 'c', 'X', 'w', 'x', 'y', 'z', '_', '/'];
+        assert_eq!(alpha, expect);
+        assert_eq!((m, n), (2, 7));
+        let (_, m, n) = parse_class_pattern("[0-9]{4}");
+        assert_eq!((m, n), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string strategy pattern")]
+    fn bad_pattern_is_loud() {
+        "hello".generate(&mut rng());
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let s = ("[a-z]{1,3}", 0u16..0x800, -1i32..4, 0i32..10, 0u8..=254, 0usize..100);
+        let mut r = rng();
+        let (a, b, c, d, e, f) = s.generate(&mut r);
+        assert!((1..=3).contains(&a.len()));
+        assert!(b < 0x800);
+        assert!((-1..4).contains(&c));
+        assert!((0..10).contains(&d));
+        let _ = e;
+        assert!(f < 100);
+    }
+}

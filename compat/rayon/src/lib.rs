@@ -1,0 +1,215 @@
+//! Offline stand-in for `rayon`, implementing the parallel-iterator
+//! subset this workspace uses (`par_iter`, `into_par_iter`, `map`,
+//! `collect`) on top of `std::thread::scope`.
+//!
+//! Work is distributed through a shared atomic cursor, so wildly uneven
+//! item costs (the sweep's heavy always-scale cells next to cheap
+//! never-scale cells) still load-balance across cores, and results are
+//! reassembled in input order — the "same result as sequential" contract
+//! real rayon gives and the workspace's determinism tests rely on.
+//!
+//! `map`/`collect` are inherent methods rather than a `ParallelIterator`
+//! trait: every call site reaches them through the concrete types the
+//! prelude conversions return, so a trait adds nothing here.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-compatible prelude: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n)
+}
+
+/// An owned, not-yet-consumed parallel iterator over `items`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator; the closure runs on worker threads.
+pub struct ParMap<'a, T, O> {
+    items: Vec<T>,
+    f: Box<dyn Fn(T) -> O + Sync + 'a>,
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u64, u32, i32);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element on a worker thread.
+    pub fn map<'a, O, F>(self, f: F) -> ParMap<'a, T, O>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync + 'a,
+    {
+        ParMap { items: self.items, f: Box::new(f) }
+    }
+
+    /// Collects the (unmapped) items in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<'a, T: Send + 'a, O: Send + 'a> ParMap<'a, T, O> {
+    /// Chains another map; closures compose and run fused per item.
+    pub fn map<O2, F>(self, f: F) -> ParMap<'a, T, O2>
+    where
+        O2: Send,
+        F: Fn(O) -> O2 + Sync + 'a,
+    {
+        let g = self.f;
+        ParMap { items: self.items, f: Box::new(move |x| f(g(x))) }
+    }
+
+    /// Runs the pipeline across threads and collects results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Applies `f` to every item on a scoped thread pool, returning results in
+/// input order.
+fn run_parallel<T: Send, O: Send>(items: Vec<T>, f: &(dyn Fn(T) -> O + Sync)) -> Vec<O> {
+    let n = items.len();
+    let workers = thread_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Items move through Option slots so worker threads can claim them by
+    // index via the shared cursor without cloning.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, O)>> = Vec::with_capacity(workers);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let slots = &slots;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, O)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item =
+                        slots[i].lock().expect("slot lock poisoned").take().expect("claimed once");
+                    out.push((i, f(item)));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            per_worker.push(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+
+    let mut ordered: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    for (i, o) in per_worker.into_iter().flatten() {
+        ordered[i] = Some(o);
+    }
+    ordered.into_iter().map(|o| o.expect("every index produced")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(xs, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, data.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let xs: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x + 1).map(|x| x * 10).collect();
+        assert_eq!(xs, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still come back in order.
+        let work = |i: u64| {
+            let spins = if i.is_multiple_of(7) { 200_000 } else { 10 };
+            (0..spins).fold(i, |a, b| a.wrapping_add(b % 13))
+        };
+        let par: Vec<u64> = (0..64u64).into_par_iter().map(work).collect();
+        let seq: Vec<u64> = (0..64u64).map(work).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(none.is_empty());
+        let one: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: the trait names exist so `use serde::
+//! {Serialize, Deserialize}` and `#[derive(Serialize, Deserialize)]`
+//! compile, but the derives are no-ops and nothing in the workspace
+//! serializes (there is no `serde_json` offline). When real serialization
+//! is wanted, swap this path dependency back to registry serde — the
+//! source-level API is a strict subset.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this subset).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this subset).
+pub trait Deserialize<'de> {}

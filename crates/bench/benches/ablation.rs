@@ -33,11 +33,9 @@ fn ablate_delay_cost_lookahead(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/scaling_policy_saturated");
     group.sample_size(10);
     for scaling in ScalingPolicy::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scaling.name()),
-            &scaling,
-            |b, &s| b.iter(|| black_box(session(s, None, false))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scaling.name()), &scaling, |b, &s| {
+            b.iter(|| black_box(session(s, None, false)))
+        });
     }
     group.finish();
 }
@@ -49,9 +47,7 @@ fn ablate_kb_advice(c: &mut Criterion) {
         b.iter(|| black_box(session(ScalingPolicy::Predictive, None, false)))
     });
     group.bench_function("naive_serial", |b| {
-        b.iter(|| {
-            black_box(session(ScalingPolicy::Predictive, Some(vec![(1, 1); 7]), false))
-        })
+        b.iter(|| black_box(session(ScalingPolicy::Predictive, Some(vec![(1, 1); 7]), false)))
     });
     group.finish();
 }

@@ -17,9 +17,28 @@ fn main() {
         cfg.fixed.sim_time_tu = sim;
         let m = run_session(&cfg, 0);
         println!("--- {} @ interval {interval} ---", scaling.name());
-        println!("  submitted {} completed {} ({:.1}%)", m.jobs_submitted, m.jobs_completed, 100.0 * m.completion_rate());
-        println!("  reward {:.0} cost {:.0} profit/run {:.1} r/c {:.2}", m.total_reward, m.total_cost, m.profit_per_run, m.reward_to_cost);
-        println!("  latency mean {:.2} p95 {:.2} | queue mean {:.1} peak {}", m.mean_latency, m.p95_latency, m.mean_queue_len, m.peak_queue_len);
-        println!("  util {:.2} public-share {:.2} core-stages {:.1} vms {} reshapes {} events {}", m.worker_utilisation, m.public_core_tu_share, m.mean_core_stages, m.vms_hired, m.reshapes, m.events);
+        println!(
+            "  submitted {} completed {} ({:.1}%)",
+            m.jobs_submitted,
+            m.jobs_completed,
+            100.0 * m.completion_rate()
+        );
+        println!(
+            "  reward {:.0} cost {:.0} profit/run {:.1} r/c {:.2}",
+            m.total_reward, m.total_cost, m.profit_per_run, m.reward_to_cost
+        );
+        println!(
+            "  latency mean {:.2} p95 {:.2} | queue mean {:.1} peak {}",
+            m.mean_latency, m.p95_latency, m.mean_queue_len, m.peak_queue_len
+        );
+        println!(
+            "  util {:.2} public-share {:.2} core-stages {:.1} vms {} reshapes {} events {}",
+            m.worker_utilisation,
+            m.public_core_tu_share,
+            m.mean_core_stages,
+            m.vms_hired,
+            m.reshapes,
+            m.events
+        );
     }
 }

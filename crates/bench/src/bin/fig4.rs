@@ -17,10 +17,14 @@
 //!   never-scale collapses under saturation, always-scale pays the public
 //!   premium, predictive tracks the better baseline.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin fig4 [--quick]`
+//! Usage: `cargo run --release -p scan-bench --bin fig4 [--quick] [--trace <path>]`
+//!
+//! `--trace <path>` additionally dumps the typed JSONL event trace of one
+//! representative session (predictive scaling, 2.0 TU interval).
 
-use scan_bench::{pm, run_cell, PAPER_REPETITIONS};
-use scan_platform::config::VariableParams;
+use scan_bench::EXPERIMENT_SEED;
+use scan_bench::{dump_trace, pm, run_cell, trace_path_from_args, PAPER_REPETITIONS};
+use scan_platform::config::{ScanConfig, VariableParams};
 use scan_sched::scaling::ScalingPolicy;
 
 fn sweep(label: &str, intervals: &[f64], sim_time: f64, reps: u64) {
@@ -44,8 +48,7 @@ fn sweep(label: &str, intervals: &[f64], sim_time: f64, reps: u64) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (mut sim_time, mut reps) =
-        if quick { (1_000.0, 3) } else { (10_000.0, PAPER_REPETITIONS) };
+    let (mut sim_time, mut reps) = if quick { (1_000.0, 3) } else { (10_000.0, PAPER_REPETITIONS) };
     // Machine-budget overrides (e.g. single-core CI boxes): SCAN_HORIZON
     // and SCAN_REPS shrink the run; results are labelled with the values
     // actually used.
@@ -59,6 +62,13 @@ fn main() {
     println!("Figure 4: mean profit per pipeline run vs. mean arrival interval");
     println!("  reward: time-based | public cost: 50 CU/TU | allocation: best-constant");
     println!("  horizon: {sim_time} TU | repetitions: {reps}");
+
+    if let Some(path) = trace_path_from_args() {
+        let mut cfg =
+            ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.0), EXPERIMENT_SEED);
+        cfg.fixed.sim_time_tu = sim_time;
+        dump_trace(&cfg, &path);
+    }
 
     let paper: Vec<f64> = (0..=10).map(|i| 2.0 + 0.1 * i as f64).collect();
     sweep("paper-verbatim interval axis (2.0-3.0 TU)", &paper, sim_time, reps);

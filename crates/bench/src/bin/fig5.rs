@@ -19,9 +19,12 @@
 //! added core-stage is applied — "the number of cores employed per
 //! pipeline run" rises one notch at a time.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin fig5 [--quick]`
+//! Usage: `cargo run --release -p scan-bench --bin fig5 [--quick] [--trace <path>]`
+//!
+//! `--trace <path>` additionally dumps the typed JSONL event trace of one
+//! representative session (the first frontier plan), reshapes included.
 
-use scan_bench::{pm, EXPERIMENT_SEED, PAPER_REPETITIONS};
+use scan_bench::{dump_trace, pm, trace_path_from_args, EXPERIMENT_SEED, PAPER_REPETITIONS};
 use scan_platform::config::{RewardKind, ScanConfig, VariableParams};
 use scan_platform::sweep::run_replicated;
 use scan_sched::alloc::AllocationPolicy;
@@ -31,8 +34,7 @@ use scan_workload::gatk::PipelineModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (mut sim_time, mut reps) =
-        if quick { (1_000.0, 3) } else { (10_000.0, PAPER_REPETITIONS) };
+    let (mut sim_time, mut reps) = if quick { (1_000.0, 3) } else { (10_000.0, PAPER_REPETITIONS) };
     if let Some(h) = std::env::var("SCAN_HORIZON").ok().and_then(|v| v.parse().ok()) {
         sim_time = h;
     }
@@ -61,6 +63,23 @@ fn main() {
         })
         .collect();
 
+    if let (Some(path), Some(plan)) = (trace_path_from_args(), picks.first()) {
+        let mut cfg = ScanConfig::new(
+            VariableParams {
+                allocation: AllocationPolicy::BestConstant,
+                scaling: ScalingPolicy::Predictive,
+                mean_interval: 2.0,
+                reward: RewardKind::ThroughputBased,
+                public_core_cost: 50.0,
+            },
+            EXPERIMENT_SEED,
+        );
+        cfg.fixed.sim_time_tu = sim_time;
+        cfg.allow_reshape = true;
+        cfg.forced_plan = Some(plan.stages.clone());
+        dump_trace(&cfg, &path);
+    }
+
     println!(
         "{:>12} | {:>21} | {:>10} | plan (shards x threads per stage)",
         "core-stages", "reward/cost", "reshapes"
@@ -84,8 +103,8 @@ fn main() {
         cfg.forced_plan = Some(plan.stages.clone());
         let m = run_replicated(&cfg, reps);
         let ratio = m.reward_to_cost.mean();
-        let reshapes: f64 = m.sessions.iter().map(|s| s.reshapes as f64).sum::<f64>()
-            / m.sessions.len() as f64;
+        let reshapes: f64 =
+            m.sessions.iter().map(|s| s.reshapes as f64).sum::<f64>() / m.sessions.len() as f64;
         let plan_str: Vec<String> = plan.stages.iter().map(|(s, t)| format!("{s}x{t}")).collect();
         let cs = plan.total_core_stages();
         println!(

@@ -25,10 +25,14 @@ fn main() {
     );
     println!("{}", "-".repeat(82));
 
-    for reward in
-        [RewardKind::TimeBased, RewardKind::ThroughputBased, RewardKind::Deadline, RewardKind::Plateau]
-    {
-        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.2), EXPERIMENT_SEED);
+    for reward in [
+        RewardKind::TimeBased,
+        RewardKind::ThroughputBased,
+        RewardKind::Deadline,
+        RewardKind::Plateau,
+    ] {
+        let mut cfg =
+            ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.2), EXPERIMENT_SEED);
         cfg.variable.reward = reward;
         cfg.fixed.sim_time_tu = sim_time;
         let m = run_replicated(&cfg, reps);

@@ -14,9 +14,12 @@
 //! * adaptive/long-term/greedy allocation vs the best-constant baseline;
 //! * predictive scaling vs the always-/never-scale baselines.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin sweep [--full] [--calibrated]`
+//! Usage: `cargo run --release -p scan-bench --bin sweep [--full] [--calibrated] [--trace <path>]`
+//!
+//! `--trace <path>` additionally dumps the typed JSONL event trace of one
+//! representative session (the grid's first cell).
 
-use scan_bench::EXPERIMENT_SEED;
+use scan_bench::{dump_trace, trace_path_from_args, EXPERIMENT_SEED};
 use scan_platform::config::{ParameterGrid, ScanConfig};
 use scan_platform::sweep::{sweep_grid, CellResult};
 use scan_sched::alloc::AllocationPolicy;
@@ -46,6 +49,11 @@ fn main() {
 
     let mut base = ScanConfig::new(cells[0], EXPERIMENT_SEED);
     base.fixed.sim_time_tu = sim_time;
+
+    if let Some(path) = trace_path_from_args() {
+        dump_trace(&base, &path);
+    }
+
     let results = sweep_grid(&base, &cells, reps);
 
     // Full per-cell table.

@@ -38,14 +38,32 @@ fn main() {
         if !matches {
             ok = false;
         }
-        println!("{:<34} | {:>14} | {:>14} {}", name, paper, ours, if matches { "" } else { "  <-- MISMATCH" });
+        println!(
+            "{:<34} | {:>14} | {:>14} {}",
+            name,
+            paper,
+            ours,
+            if matches { "" } else { "  <-- MISMATCH" }
+        );
     }
     println!("\nReproduction-specific attributes (not in Table III; see EXPERIMENTS.md):");
-    println!("{:<34} | {:>14}", "GB per job size unit (calibrated)", format!("{:.1}", f.gb_per_size_unit));
+    println!(
+        "{:<34} | {:>14}",
+        "GB per job size unit (calibrated)",
+        format!("{:.1}", f.gb_per_size_unit)
+    );
     println!("{:<34} | {:>14}", "Worker boot/reshape penalty (TU)", "0.5");
     println!("{:<34} | {:>14}", "Private idle timeout (TU)", format!("{:.1}", f.idle_timeout_tu));
-    println!("{:<34} | {:>14}", "Public idle timeout (TU)", format!("{:.1}", f.public_idle_timeout_tu));
-    println!("{:<34} | {:>14}", "Planner overhead price factor", format!("{:.2}", f.overhead_price_factor));
+    println!(
+        "{:<34} | {:>14}",
+        "Public idle timeout (TU)",
+        format!("{:.1}", f.public_idle_timeout_tu)
+    );
+    println!(
+        "{:<34} | {:>14}",
+        "Planner overhead price factor",
+        format!("{:.2}", f.overhead_price_factor)
+    );
     println!("{:<34} | {:>14}", "Standing-pool headroom", format!("{:.2}", f.pool_headroom));
     assert!(ok, "configured defaults drifted from Table III");
     println!("\nAll Table III values match the paper.");

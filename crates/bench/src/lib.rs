@@ -24,7 +24,9 @@
 
 use scan_platform::config::{ScanConfig, VariableParams};
 use scan_platform::metrics::ReplicatedMetrics;
+use scan_platform::session::run_session_traced;
 use scan_platform::sweep::run_replicated;
+use std::path::PathBuf;
 
 /// Default repetitions: the paper's "all measurements were repeated 10
 /// times".
@@ -43,4 +45,34 @@ pub fn run_cell(variable: VariableParams, sim_time: f64, reps: u64) -> Replicate
 /// Formats `mean ± σ` to two decimals.
 pub fn pm(stats: &scan_sim::stats::OnlineStats) -> String {
     format!("{:9.2} ± {:7.2}", stats.mean(), stats.stddev())
+}
+
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag from argv.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Dumps the typed JSONL trace of one representative session (repetition
+/// 0 of `cfg`) to `path`, reporting what was written. Used by the bench
+/// bins' `--trace` flag; the traced run is separate from the measured
+/// repetitions, so tables are unaffected.
+pub fn dump_trace(cfg: &ScanConfig, path: &std::path::Path) {
+    match run_session_traced(cfg, 0, path) {
+        Ok(m) => println!(
+            "trace: wrote {} ({} events dispatched, {} jobs completed)",
+            path.display(),
+            m.events,
+            m.jobs_completed
+        ),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+    }
 }

@@ -5,7 +5,7 @@
 use crate::instance::InstanceSize;
 use crate::tier::{BillingMode, TierCatalog, TierId};
 use crate::vm::{Vm, VmId, VmState};
-use scan_sim::{SimDuration, SimTime};
+use scan_sim::{SimDuration, SimTime, TraceEvent, Tracer};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -36,10 +36,15 @@ pub struct CloudProvider {
     /// Cost already incurred by released VMs (live VMs are integrated on
     /// demand).
     settled_cost: f64,
+    /// The same settled cost broken out per tier (for end-of-run
+    /// settlement events).
+    settled_cost_by_tier: Vec<f64>,
     /// Total core·TU consumed by released VMs, per tier.
     settled_core_tu_by_tier: Vec<f64>,
     /// VMs ever hired (diagnostic).
     hired_total: u64,
+    /// Lifecycle event sink (disabled by default; see [`Tracer`]).
+    tracer: Tracer,
 }
 
 impl CloudProvider {
@@ -52,9 +57,17 @@ impl CloudProvider {
             cores_in_use: vec![0; n],
             next_id: 0,
             settled_cost: 0.0,
+            settled_cost_by_tier: vec![0.0; n],
             settled_core_tu_by_tier: vec![0.0; n],
             hired_total: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Routes VM lifecycle events (hire / reshape / release) to `tracer`'s
+    /// observers. The provider emits; it never reads the trace.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The tier catalogue.
@@ -88,11 +101,7 @@ impl CloudProvider {
 
     /// Hires a VM of `size` on the preferred tier (private first); it
     /// starts booting at `now`. Returns the new VM's id and ready time.
-    pub fn hire(
-        &mut self,
-        size: InstanceSize,
-        now: SimTime,
-    ) -> Result<(VmId, SimTime), HireError> {
+    pub fn hire(&mut self, size: InstanceSize, now: SimTime) -> Result<(VmId, SimTime), HireError> {
         let tier = self.cheapest_available_tier(size).ok_or(HireError::NoCapacity)?;
         self.hire_on(tier, size, now)
     }
@@ -117,6 +126,8 @@ impl CloudProvider {
         self.cores_in_use[tier.0] += size.cores();
         self.hired_total += 1;
         self.vms.insert(id, vm);
+        self.tracer
+            .emit(now, TraceEvent::VmHired { vm: id.0, tier: tier.0 as u32, cores: size.cores() });
         Ok((id, ready_at))
     }
 
@@ -136,10 +147,13 @@ impl CloudProvider {
             BillingMode::HiredTime => span,
             BillingMode::BusyTime => vm.busy_span(now),
         };
-        self.settled_cost += cores as f64 * t.cost_per_core_tu * billed.as_tu();
+        let cost = cores as f64 * t.cost_per_core_tu * billed.as_tu();
+        self.settled_cost += cost;
+        self.settled_cost_by_tier[tier.0] += cost;
         self.settled_core_tu_by_tier[tier.0] += cores as f64 * span.as_tu();
         self.cores_in_use[tier.0] -= cores;
         self.vms.remove(&id);
+        self.tracer.emit(now, TraceEvent::VmReleased { vm: id.0, tier: tier.0 as u32, cores });
     }
 
     /// Reshapes an idle VM to `new_size` (paying the boot penalty).
@@ -167,6 +181,15 @@ impl CloudProvider {
         }
         let ready = vm.reshape(new_size, now);
         self.cores_in_use[tier.0] = self.cores_in_use[tier.0] + new - old;
+        self.tracer.emit(
+            now,
+            TraceEvent::VmReshaped {
+                vm: id.0,
+                tier: tier.0 as u32,
+                cores_from: old,
+                cores_to: new,
+            },
+        );
         Ok(ready)
     }
 
@@ -209,6 +232,26 @@ impl CloudProvider {
             })
             .sum();
         self.settled_cost + live
+    }
+
+    /// Cost incurred on one tier up to `now` (live + settled). Summing
+    /// this over tiers equals [`CloudProvider::total_cost`] up to f64
+    /// addition order.
+    pub fn cost_on_tier(&self, tier: TierId, now: SimTime) -> f64 {
+        let live: f64 = self
+            .vms
+            .values()
+            .filter(|vm| vm.tier == tier)
+            .map(|vm| {
+                let t = self.catalog.get(vm.tier);
+                let billed = match t.billing {
+                    BillingMode::HiredTime => vm.hired_span(now),
+                    BillingMode::BusyTime => vm.busy_span(now),
+                };
+                vm.size.cores() as f64 * t.cost_per_core_tu * billed.as_tu()
+            })
+            .sum();
+        self.settled_cost_by_tier[tier.0] + live
     }
 
     /// Total core·TU consumed up to `now` (live + settled).
@@ -341,6 +384,30 @@ mod tests {
         // bills from hire: 1 core × 50 CU × 1 TU.
         let cost = p.total_cost(t(1.0));
         assert!((cost - 50.0).abs() < 1e-6, "{cost}");
+    }
+
+    #[test]
+    fn per_tier_costs_sum_to_total() {
+        let mut p = provider();
+        // Fill private, spill one onto public, settle one of each.
+        for _ in 0..39 {
+            let (id, r) = p.hire(sz(16), t(0.0)).unwrap();
+            p.vm_mut(id).unwrap().finish_boot(r);
+        }
+        let (pub_id, _) = p.hire(sz(4), t(0.0)).unwrap();
+        assert_eq!(p.vm(pub_id).unwrap().tier, TierId(1));
+        let first = VmId(0);
+        p.vm_mut(first).unwrap().start_task(t(1.0));
+        p.vm_mut(first).unwrap().finish_task(t(2.0));
+        p.release(first, t(2.0));
+        p.release(pub_id, t(3.0));
+        let now = t(5.0);
+        let by_tier = p.cost_on_tier(TierId(0), now) + p.cost_on_tier(TierId(1), now);
+        assert!((by_tier - p.total_cost(now)).abs() < 1e-9, "{by_tier}");
+        // Private released VM billed busy time: 16 cores × 5 CU × 1 TU.
+        assert!((p.cost_on_tier(TierId(0), now) - 80.0).abs() < 1e-9);
+        // Public released VM billed hired time: 4 cores × 50 CU × 3 TU.
+        assert!((p.cost_on_tier(TierId(1), now) - 600.0).abs() < 1e-9);
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl SharedStore {
             .enumerate()
             .map(|(i, &size)| {
                 let path = format!("{}.shard{}", base.path, i);
-                self.put(Dataset { path: path.clone(), size_gb: size, format: base.format.clone() });
+                self.put(Dataset {
+                    path: path.clone(),
+                    size_gb: size,
+                    format: base.format.clone(),
+                });
                 path
             })
             .collect()
@@ -163,10 +167,8 @@ mod tests {
 
     #[test]
     fn staging_time_uses_registered_size() {
-        let mut s = SharedStore::with_model(TransferModel {
-            latency_tu: 0.0,
-            bandwidth_gb_per_tu: 2.0,
-        });
+        let mut s =
+            SharedStore::with_model(TransferModel { latency_tu: 0.0, bandwidth_gb_per_tu: 2.0 });
         s.put(ds("/x", 8.0));
         assert!((s.staging_time("/x").as_tu() - 4.0).abs() < 1e-12);
     }

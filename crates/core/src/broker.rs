@@ -108,9 +108,9 @@ impl DataBroker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scan_sim::SimTime;
     use scan_workload::gatk::PAPER_STAGE_FACTORS;
     use scan_workload::job::JobId;
-    use scan_sim::SimTime;
 
     fn broker(noise: f64) -> DataBroker {
         let model = PipelineModel::paper();

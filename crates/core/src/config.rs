@@ -188,9 +188,7 @@ impl ScanConfig {
             RewardKind::TimeBased => {
                 RewardFn::TimeBased { rmax: self.fixed.rmax, rpenalty: self.fixed.rpenalty }
             }
-            RewardKind::ThroughputBased => {
-                RewardFn::ThroughputBased { rscale: self.fixed.rscale }
-            }
+            RewardKind::ThroughputBased => RewardFn::ThroughputBased { rscale: self.fixed.rscale },
             RewardKind::Deadline => RewardFn::Deadline {
                 rmax: self.fixed.rmax,
                 rpenalty: self.fixed.rpenalty,

@@ -1,0 +1,135 @@
+//! Admission and planning: batch arrivals, plan selection per job, stage
+//! enqueueing, and the periodic replan tick that refreshes models and
+//! closes learned-policy epochs.
+
+use super::events::{Event, JobRun, SubtaskRef};
+use super::Platform;
+use scan_sched::alloc::{AllocationContext, AllocationPolicy};
+use scan_sched::plan::ExecutionPlan;
+use scan_sched::queue::TaskClass;
+use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
+use scan_workload::gatk::PipelineModel;
+use scan_workload::job::{Job, JobId};
+
+impl Platform {
+    pub(super) fn on_arrival(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        let batch = self.arrivals.next_batch();
+        debug_assert_eq!(batch.at, now);
+
+        // Online arrival-rate estimate (jobs/TU) for the adaptive policy.
+        let gap = (now - self.last_arrival_at).as_tu().max(1e-6);
+        let inst_rate = batch.jobs.len() as f64 / gap;
+        self.observed_rate = 0.05 * inst_rate + 0.95 * self.observed_rate;
+        self.last_arrival_at = now;
+
+        for job in batch.jobs {
+            self.observed_size = 0.05 * job.size_units + 0.95 * self.observed_size;
+            self.admit(job, now);
+        }
+        cal.schedule(self.arrivals.next_arrival_at(), Event::Arrival);
+        self.dispatch(now, cal);
+    }
+
+    fn admit(&mut self, job: Job, now: SimTime) {
+        self.tracer.emit(now, TraceEvent::JobArrived { job: job.id.0, size_units: job.size_units });
+        let plan = match (&self.cfg.forced_plan, &self.learned) {
+            (Some(stages), _) => ExecutionPlan::new(stages.clone()),
+            (None, Some(planner)) => {
+                // Epoch discipline: reuse the epoch's arm.
+                let idx = match self.learned_arm {
+                    Some(idx) => idx,
+                    None => {
+                        let (idx, _) = planner.select(&mut self.learned_rng);
+                        self.learned_arm = Some(idx);
+                        idx
+                    }
+                };
+                planner.arm_plan(idx).clone()
+            }
+            (None, None) => {
+                // The context borrows the broker's model; clone it locally
+                // (7 stage factors) so the allocator can borrow mutably.
+                let model = self.broker.learned_model().clone();
+                let ctx = self.allocation_context(&model);
+                self.allocator.plan_for(job.size_units, now, &ctx)
+            }
+        };
+        // The Data Broker registers the dataset and its stage-1 shards.
+        let (stage1_shards, _) = plan.stage(0);
+        self.broker.register_job(&job, stage1_shards);
+
+        let run = JobRun { job, plan, stage: 0, outstanding: 0 };
+        let id = run.job.id;
+        self.jobs.insert(id, run);
+        self.enqueue_stage(id, now);
+    }
+
+    pub(super) fn allocation_context<'a>(&self, model: &'a PipelineModel) -> AllocationContext<'a> {
+        let adaptive = self.cfg.variable.allocation == AllocationPolicy::LongTermAdaptive;
+        let (arrival_rate, mean_job_size, steady_overhead) = if adaptive {
+            (self.observed_rate, self.observed_size, self.estimator.queue_times().eqt_tail(0))
+        } else {
+            (self.cfg.arrival_config().mean_job_rate(), self.cfg.fixed.mean_job_size, 1.0)
+        };
+        // Plans are priced at overhead-inflated rates: a hired core·TU of
+        // work costs more than the raw tier price once boot and idle time
+        // are amortised in.
+        let f = self.cfg.fixed.overhead_price_factor;
+        AllocationContext {
+            model,
+            reward: self.reward,
+            private_price: self.cfg.fixed.private_core_cost * f,
+            public_price: self.cfg.variable.public_core_cost * f,
+            private_capacity: self.cfg.fixed.private_capacity_cores,
+            private_free_now: self.provider.free_cores(self.private_tier) > 0,
+            current_overhead_tu: self.estimator.queue_times().eqt_tail(0),
+            arrival_rate,
+            mean_job_size,
+            steady_overhead_tu: steady_overhead,
+        }
+    }
+
+    pub(super) fn enqueue_stage(&mut self, id: JobId, now: SimTime) {
+        let run = self.jobs.get_mut(&id).expect("enqueue_stage for unknown job");
+        let (shards, threads) = run.plan.stage(run.stage);
+        run.outstanding = shards;
+        let stage = run.stage;
+        let class = TaskClass { stage, cores: threads };
+        for _ in 0..shards {
+            self.queues.push(class, SubtaskRef { job: id }, now);
+        }
+        self.tracer.emit(
+            now,
+            TraceEvent::JobStageAdvanced { job: id.0, stage: stage as u32, shards, cores: threads },
+        );
+        self.tracer.emit_with(now, || TraceEvent::QueueDepthSampled {
+            depth: self.queues.total_len() as u32,
+        });
+    }
+
+    pub(super) fn on_replan(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        if self.cfg.variable.allocation == AllocationPolicy::LongTermAdaptive {
+            self.broker.refresh_model();
+            self.estimator.set_model(self.broker.learned_model().clone());
+        }
+        // §VI learned policy: close the epoch — score the arm with the
+        // epoch's realised profit per completed run, then pick the next
+        // epoch's arm.
+        if let Some(planner) = &mut self.learned {
+            let cost_now = self.provider.total_cost(now);
+            let (r0, c0, n0) = self.epoch_start;
+            let completed = self.completed - n0;
+            if let Some(arm) = self.learned_arm {
+                if completed > 0 {
+                    let profit = (self.total_reward - r0) - (cost_now - c0);
+                    planner.update(arm, profit / completed as f64);
+                }
+            }
+            self.epoch_start = (self.total_reward, cost_now, self.completed);
+            let (idx, _) = planner.select(&mut self.learned_rng);
+            self.learned_arm = Some(idx);
+        }
+        self.resize_standing_pools(now, cal);
+        cal.schedule(now + SimDuration::new(self.cfg.fixed.replan_period_tu), Event::Replan);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dispatch: matching queued shard subtasks to idle same-shape workers
+//! and advancing jobs as their subtasks finish.
+
+use super::events::Event;
+use super::Platform;
+use scan_cloud::vm::VmId;
+use scan_kb::ProfileRecord;
+use scan_sched::alloc::AllocationPolicy;
+use scan_sched::queue::TaskClass;
+use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
+use scan_workload::job::JobId;
+
+impl Platform {
+    pub(super) fn take_idle(&mut self, cores: u32) -> Option<VmId> {
+        let set = self.idle_by_size.get_mut(&cores)?;
+        let id = *set.iter().next()?;
+        set.remove(&id);
+        Some(id)
+    }
+
+    /// Matches queued subtasks to idle workers and takes scaling decisions
+    /// for stalled classes.
+    pub(super) fn dispatch(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        for class in self.queues.nonempty_classes() {
+            // Serve with idle same-shape workers.
+            while self.queues.get(class).map(|q| !q.is_empty()).unwrap_or(false) {
+                let Some(vm_id) = self.take_idle(class.cores) else {
+                    break;
+                };
+                self.assign(class, vm_id, now, cal);
+            }
+            // Stalled: decide whether to grow.
+            let queued = self.queues.get(class).map(|q| q.len()).unwrap_or(0);
+            if queued == 0 {
+                continue;
+            }
+            let pending = *self.pending.get(&class).unwrap_or(&0);
+            let mut deficit = (queued as u32).saturating_sub(pending);
+            while deficit > 0 {
+                if !self.try_grow(class, now, cal) {
+                    break;
+                }
+                deficit -= 1;
+            }
+        }
+        self.tracer.emit_with(now, || TraceEvent::QueueDepthSampled {
+            depth: self.queues.total_len() as u32,
+        });
+    }
+
+    pub(super) fn on_subtask_done(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        stage: usize,
+        vm_id: VmId,
+        cal: &mut Calendar<Event>,
+    ) {
+        self.tracer
+            .emit(now, TraceEvent::SubtaskDone { job: job.0, stage: stage as u32, vm: vm_id.0 });
+        // Free the worker.
+        self.busy_until.remove(&vm_id);
+        let vm = self.provider.vm_mut(vm_id).expect("done event for unknown VM");
+        vm.finish_task(now);
+        let cores = vm.size.cores();
+        self.idle_by_size.entry(cores).or_default().insert(vm_id);
+
+        // Advance the job.
+        let run = self.jobs.get_mut(&job).expect("done event for unknown job");
+        debug_assert_eq!(run.stage, stage, "stage mismatch in completion event");
+        run.outstanding -= 1;
+        if run.outstanding == 0 {
+            run.stage += 1;
+            if run.stage == run.plan.n_stages() {
+                let run = self.jobs.remove(&job).expect("just present");
+                self.complete(run, now);
+            } else {
+                self.enqueue_stage(job, now);
+            }
+        }
+        self.dispatch(now, cal);
+    }
+
+    pub(super) fn assign(
+        &mut self,
+        class: TaskClass,
+        vm_id: VmId,
+        now: SimTime,
+        cal: &mut Calendar<Event>,
+    ) {
+        let (subtask, wait) =
+            self.queues.pop(class, now).expect("assign called with non-empty queue");
+        self.estimator.queue_times_mut().observe(class.stage, wait.as_tu());
+
+        let run = self.jobs.get(&subtask.job).expect("queued subtask has a live job");
+        let (shards, threads) = run.plan.stage(run.stage);
+        debug_assert_eq!(threads, class.cores);
+        let stage = run.stage;
+        let d_gb = self.true_model.units_to_gb(run.job.size_units) / shards as f64;
+
+        // Ground-truth execution time + staging + measurement noise.
+        let exec = self.true_model.stages[stage].threaded_time(threads, d_gb);
+        let noise = (1.0 + 0.02 * self.exec_noise.standard_normal()).max(0.05);
+        let staging = self.broker.staging_time(d_gb);
+        let duration = SimDuration::clamped(exec * noise) + staging;
+
+        // Live task log for the knowledge base (sampled, adaptive only —
+        // "the log information will be used to further populate the SCAN
+        // knowledge-base").
+        if self.cfg.variable.allocation == AllocationPolicy::LongTermAdaptive {
+            self.adaptive_ingest_counter += 1;
+            if self.adaptive_ingest_counter.is_multiple_of(32) {
+                self.broker.ingest_log(&ProfileRecord {
+                    application: "GATK".into(),
+                    stage: (stage + 1) as u32,
+                    input_gb: d_gb,
+                    threads,
+                    ram_gb: 4.0,
+                    e_time: exec * noise,
+                });
+            }
+        }
+
+        let vm = self.provider.vm_mut(vm_id).expect("idle VM exists");
+        vm.start_task(now);
+        let done_at = now + duration;
+        self.busy_until.insert(vm_id, done_at);
+        self.tracer.emit(
+            now,
+            TraceEvent::SubtaskDispatched {
+                job: subtask.job.0,
+                stage: stage as u32,
+                vm: vm_id.0,
+                cores: class.cores,
+                waited_tu: wait.as_tu(),
+                busy_tu: duration.as_tu(),
+            },
+        );
+        cal.schedule(done_at, Event::SubtaskDone { job: subtask.job, stage, vm: vm_id });
+    }
+}

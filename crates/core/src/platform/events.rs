@@ -1,0 +1,43 @@
+//! The simulation event vocabulary and per-job live state.
+
+use scan_cloud::vm::VmId;
+use scan_sched::plan::ExecutionPlan;
+use scan_workload::job::{Job, JobId};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// The next job batch arrives.
+    Arrival,
+    /// A VM finished booting or reshaping.
+    VmReady(VmId),
+    /// One shard subtask of a job's current stage finished.
+    SubtaskDone {
+        /// Owning job.
+        job: JobId,
+        /// Stage the subtask belonged to (consistency check).
+        stage: usize,
+        /// The worker that ran it.
+        vm: VmId,
+    },
+    /// Periodic idle-worker release scan.
+    IdleSweep,
+    /// Periodic re-planning / model-refresh tick.
+    Replan,
+}
+
+/// A queued shard subtask (the queue key carries stage and shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(super) struct SubtaskRef {
+    pub(super) job: JobId,
+}
+
+/// Live state of one admitted job.
+#[derive(Debug, Clone)]
+pub(super) struct JobRun {
+    pub(super) job: Job,
+    pub(super) plan: ExecutionPlan,
+    pub(super) stage: usize,
+    /// Shard subtasks of the current stage still queued or running.
+    pub(super) outstanding: u32,
+}

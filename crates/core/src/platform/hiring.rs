@@ -1,0 +1,237 @@
+//! Capacity growth for stalled classes: the horizontal-scaling decision
+//! (Table I) with its Eq. 1 queue view, the private-hire throttle, and
+//! reshape-instead-of-hire for heterogeneous configurations.
+
+use super::events::Event;
+use super::Platform;
+use scan_cloud::instance::InstanceSize;
+use scan_cloud::vm::{boot_penalty, VmId};
+use scan_sched::delay_cost::{delay_cost, QueuedJobView};
+use scan_sched::queue::TaskClass;
+use scan_sched::scaling::{ScalingContext, ScalingDecision};
+use scan_sim::{Calendar, ScalingChoice, SimTime, TraceEvent};
+
+/// The scalar inputs of one scaling decision (everything except the
+/// queue view, which lives in the platform's scratch buffer).
+#[derive(Debug, Clone, Copy)]
+struct ScalingInputs {
+    private_has_capacity: bool,
+    expected_wait_tu: f64,
+    expected_task_tu: f64,
+}
+
+impl Platform {
+    /// Cap on the Eq. 1 queue view: past a few hundred distinct jobs the
+    /// delay cost dwarfs any hire cost, so enumerating a saturated queue
+    /// in full would be pure O(n) waste on every dispatch.
+    const MAX_QUEUE_VIEW: usize = 256;
+
+    /// Attempts one capacity-growth action (reshape or hire) for a stalled
+    /// class. Returns false when the policy says wait (or nothing can be
+    /// done).
+    pub(super) fn try_grow(
+        &mut self,
+        class: TaskClass,
+        now: SimTime,
+        cal: &mut Calendar<Event>,
+    ) -> bool {
+        let size = InstanceSize::new(class.cores).expect("class cores are instance sizes");
+
+        // Heterogeneous configuration: reshape an idle worker of another
+        // shape instead of hiring, paying the 30 s penalty (§IV-B).
+        if self.cfg.allow_reshape {
+            if let Some(vm_id) = self.reshape_candidate(class.cores, now) {
+                match self.provider.reshape(vm_id, size, now) {
+                    Ok(ready_at) => {
+                        // The VM is booting again — pull it out of the
+                        // idle pool so nothing assigns to it meanwhile.
+                        let old_cores = *self
+                            .idle_by_size
+                            .iter()
+                            .find(|(_, s)| s.contains(&vm_id))
+                            .expect("reshaped VM was idle")
+                            .0;
+                        self.idle_by_size.get_mut(&old_cores).expect("pool exists").remove(&vm_id);
+                        *self.pending.entry(class).or_insert(0) += 1;
+                        self.vm_reserved_for.insert(vm_id, class);
+                        // Narrate the decision after the action (whether a
+                        // candidate can actually reshape is only known from
+                        // the provider's answer).
+                        self.tracer.emit_with(now, || TraceEvent::ScalingDecision {
+                            stage: class.stage as u32,
+                            cores: class.cores,
+                            queued_jobs: self
+                                .queues
+                                .get(class)
+                                .map(|q| q.len() as u32)
+                                .unwrap_or(0),
+                            delay_cost: f64::NAN,
+                            hire_cost: f64::NAN,
+                            choice: ScalingChoice::Reshape,
+                        });
+                        cal.schedule(ready_at, Event::VmReady(vm_id));
+                        return true;
+                    }
+                    Err(_) => { /* fall through to hire */ }
+                }
+            }
+        }
+
+        // The first `pending` queued items are already covered by hires
+        // in flight; the marginal decision looks only at the remainder.
+        let covered = *self.pending.get(&class).unwrap_or(&0) as usize;
+        self.fill_queue_view(class, covered, now);
+        let inputs = self.scaling_inputs(class, now);
+        let ctx = ScalingContext {
+            private_has_capacity: inputs.private_has_capacity,
+            queued: &self.scaling_scratch,
+            expected_wait_tu: inputs.expected_wait_tu,
+            public_price_per_core_tu: self.cfg.variable.public_core_cost,
+            stage: class.stage as u32,
+            cores_needed: class.cores,
+            boot_penalty_tu: boot_penalty().as_tu(),
+            expected_task_tu: inputs.expected_task_tu,
+            reward: self.reward,
+        };
+        let decision = self.cfg.variable.scaling.decide_traced(&ctx, now, &self.tracer);
+        let tier = match decision {
+            ScalingDecision::HirePrivate => {
+                // "Just enough and just on time" (§I): even free private
+                // capacity is only committed when the Eq. 1 delay cost of
+                // waiting for an existing worker exceeds the (cheap but
+                // non-zero) cost of booting and running a new one. This
+                // throttle applies to every policy — Table I's algorithms
+                // differ in the *public* hire decision.
+                if self.cfg.fixed.private_hire_throttle {
+                    let avoided = (ctx.expected_wait_tu - ctx.boot_penalty_tu).max(0.0);
+                    let dc = delay_cost(&self.reward, ctx.queued, avoided);
+                    let hire_cost = self.cfg.fixed.private_core_cost
+                        * class.cores as f64
+                        * (ctx.boot_penalty_tu + ctx.expected_task_tu);
+                    if dc <= hire_cost {
+                        // Overrides the HirePrivate just narrated — the
+                        // second event records the veto and its numbers.
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::ScalingDecision {
+                                stage: class.stage as u32,
+                                cores: class.cores,
+                                queued_jobs: ctx.queued.len() as u32,
+                                delay_cost: dc,
+                                hire_cost,
+                                choice: ScalingChoice::ThrottledPrivate,
+                            },
+                        );
+                        return false;
+                    }
+                }
+                self.private_tier
+            }
+            ScalingDecision::HirePublic => self.public_tier,
+            ScalingDecision::Wait => return false,
+        };
+        match self.provider.hire_on(tier, size, now) {
+            Ok((vm_id, ready_at)) => {
+                *self.pending.entry(class).or_insert(0) += 1;
+                self.vm_reserved_for.insert(vm_id, class);
+                cal.schedule(ready_at, Event::VmReady(vm_id));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Fills the scratch buffer with Eq. 1's queue view: distinct jobs
+    /// waiting in `class`, less the first `skip` entries already covered
+    /// by in-flight hires. Reuses the platform's scratch allocations.
+    fn fill_queue_view(&mut self, class: TaskClass, skip: usize, now: SimTime) {
+        self.scaling_scratch.clear();
+        self.scaling_seen.clear();
+        if let Some(q) = self.queues.get(class) {
+            for entry in q.iter().skip(skip).take(Self::MAX_QUEUE_VIEW) {
+                if !self.scaling_seen.insert(entry.item.job) {
+                    continue;
+                }
+                if let Some(run) = self.jobs.get(&entry.item.job) {
+                    self.scaling_scratch.push(QueuedJobView {
+                        size_units: run.job.size_units,
+                        ett: self.estimator.ett(&run.job, run.stage, &run.plan.stages, now),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The scalar half of the scaling context for `class`.
+    fn scaling_inputs(&self, class: TaskClass, now: SimTime) -> ScalingInputs {
+        // Projected wait: the soonest same-shape worker to free up or
+        // finish booting; a long sentinel when none exists at all.
+        let mut expected_wait = f64::INFINITY;
+        for (&vm_id, &until) in &self.busy_until {
+            if let Some(vm) = self.provider.vm(vm_id) {
+                if vm.size.cores() == class.cores {
+                    expected_wait = expected_wait.min((until - now).as_tu());
+                }
+            }
+        }
+        if expected_wait.is_infinite() {
+            for vm in self.provider.vms() {
+                if vm.is_booting() && vm.size.cores() == class.cores {
+                    expected_wait = expected_wait.min(boot_penalty().as_tu());
+                }
+            }
+        }
+        if expected_wait.is_infinite() {
+            expected_wait = 50.0; // nothing of this shape exists: waiting is hopeless
+        }
+
+        // Expected run time of the head task.
+        let expected_task_tu = self
+            .queues
+            .get(class)
+            .and_then(|q| q.iter().next())
+            .and_then(|e| self.jobs.get(&e.item.job))
+            .map(|run| {
+                let (shards, threads) = run.plan.stage(run.stage);
+                self.estimator.eet(run.stage, run.job.size_units, shards, threads)
+            })
+            .unwrap_or(1.0);
+
+        ScalingInputs {
+            private_has_capacity: self
+                .provider
+                .has_capacity(self.private_tier, InstanceSize::new(class.cores).expect("shape")),
+            expected_wait_tu: expected_wait,
+            expected_task_tu,
+        }
+    }
+
+    /// Picks an idle VM to reshape for a class needing `cores`: a worker
+    /// of a shape with more idle machines than queued demand (cannibalise
+    /// only surplus shapes), smallest shape first to conserve capacity.
+    fn reshape_candidate(&self, cores: u32, now: SimTime) -> Option<VmId> {
+        for (&size, set) in &self.idle_by_size {
+            if size == cores || set.is_empty() {
+                continue;
+            }
+            let shape_demand: usize =
+                self.queues.iter().filter(|(c, _)| c.cores == size).map(|(_, q)| q.len()).sum();
+            if set.len() > shape_demand {
+                // Only cannibalise *stably* idle workers: a shape whose
+                // pool just drained will be needed again within a batch
+                // gap, and flip-flopping shapes pays the 30 s penalty both
+                // ways while destroying pool warmth.
+                return set
+                    .iter()
+                    .find(|&&vm| {
+                        self.provider
+                            .vm(vm)
+                            .map(|v| v.idle_span(now).as_tu() >= 1.0)
+                            .unwrap_or(false)
+                    })
+                    .copied();
+            }
+        }
+        None
+    }
+}

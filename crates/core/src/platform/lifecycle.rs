@@ -1,0 +1,113 @@
+//! Worker lifecycle: boot completion, the idle-release sweep, and the
+//! standing per-shape worker pools topped up from the private tier.
+
+use super::events::Event;
+use super::Platform;
+use scan_cloud::instance::InstanceSize;
+use scan_cloud::vm::VmId;
+use scan_sched::alloc::AllocationPolicy;
+use scan_sched::plan::ExecutionPlan;
+use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
+use std::collections::BTreeMap;
+
+impl Platform {
+    pub(super) fn on_vm_ready(&mut self, now: SimTime, vm_id: VmId, cal: &mut Calendar<Event>) {
+        if let Some(class) = self.vm_reserved_for.remove(&vm_id) {
+            if let Some(p) = self.pending.get_mut(&class) {
+                *p = p.saturating_sub(1);
+            }
+        }
+        let vm = self.provider.vm_mut(vm_id).expect("ready event for unknown VM");
+        vm.finish_boot(now);
+        let cores = vm.size.cores();
+        self.tracer.emit(now, TraceEvent::VmBooted { vm: vm_id.0, cores });
+        self.idle_by_size.entry(cores).or_default().insert(vm_id);
+        self.dispatch(now, cal);
+    }
+
+    pub(super) fn on_idle_sweep(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        let public_timeout = SimDuration::new(self.cfg.fixed.public_idle_timeout_tu);
+        let private_timeout = SimDuration::new(self.cfg.fixed.idle_timeout_tu);
+        let mut live: BTreeMap<u32, usize> = BTreeMap::new();
+        for vm in self.provider.vms() {
+            *live.entry(vm.size.cores()).or_insert(0) += 1;
+        }
+        for vm_id in self.provider.idle_candidates(now, public_timeout.min(private_timeout)) {
+            let vm = self.provider.vm(vm_id).expect("candidate exists");
+            let timeout =
+                if vm.tier == self.public_tier { public_timeout } else { private_timeout };
+            if vm.idle_span(now) < timeout {
+                continue;
+            }
+            let cores = vm.size.cores();
+            // Private pools never shrink below their standing target;
+            // public workers are always releasable.
+            if vm.tier == self.private_tier {
+                let floor = *self.standing_target.get(&cores).unwrap_or(&0) as usize;
+                let alive = live.entry(cores).or_insert(0);
+                if *alive <= floor {
+                    continue;
+                }
+                *alive -= 1;
+            }
+            if let Some(set) = self.idle_by_size.get_mut(&cores) {
+                set.remove(&vm_id);
+            }
+            self.provider.release(vm_id, now);
+        }
+        cal.schedule(now + SimDuration::new(0.5), Event::IdleSweep);
+    }
+
+    /// Sizes the per-shape standing pools from the representative plan and
+    /// the load forecast: stage `i` keeps `headroom · λ · s_i · T_i`
+    /// workers of its shape on standby, so the base flow is served without
+    /// boot waits and idle churn. Tops pools up from the private tier
+    /// (standing capacity is the owned cluster; the public tier stays
+    /// reactive).
+    pub(super) fn resize_standing_pools(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        let plan = match (&self.cfg.forced_plan, &self.learned) {
+            (Some(stages), _) => ExecutionPlan::new(stages.clone()),
+            (None, Some(planner)) => planner.best_plan().clone(),
+            (None, None) => {
+                let model = self.broker.learned_model().clone();
+                let ctx = self.allocation_context(&model);
+                self.allocator.plan_for(self.cfg.fixed.mean_job_size, now, &ctx)
+            }
+        };
+        let adaptive = self.cfg.variable.allocation == AllocationPolicy::LongTermAdaptive;
+        let (rate, mean_size) = if adaptive {
+            (self.observed_rate, self.observed_size)
+        } else {
+            (self.cfg.arrival_config().mean_job_rate(), self.cfg.fixed.mean_job_size)
+        };
+        let model = self.broker.learned_model().clone();
+        let mut target: BTreeMap<u32, f64> = BTreeMap::new();
+        for (i, &(s, t)) in plan.stages.iter().enumerate() {
+            let d_gb = model.units_to_gb(mean_size) / s as f64;
+            let task_tu =
+                model.stage_latency(i, mean_size, s, t) + self.broker.staging_time(d_gb).as_tu();
+            *target.entry(t).or_insert(0.0) += rate * s as f64 * task_tu;
+        }
+        self.standing_target = target
+            .into_iter()
+            .map(|(c, busy_vms)| (c, (self.cfg.fixed.pool_headroom * busy_vms).ceil() as u32))
+            .collect();
+
+        // Top pools up from the private tier.
+        let targets: Vec<(u32, u32)> = self.standing_target.iter().map(|(&c, &n)| (c, n)).collect();
+        for (cores, want) in targets {
+            let live = self.live_count_by_size(cores);
+            let size = InstanceSize::new(cores).expect("plan shapes are instance sizes");
+            for _ in live..(want as usize) {
+                match self.provider.hire_on(self.private_tier, size, now) {
+                    Ok((vm_id, ready_at)) => cal.schedule(ready_at, Event::VmReady(vm_id)),
+                    Err(_) => break, // private tier full: pools stay short
+                }
+            }
+        }
+    }
+
+    fn live_count_by_size(&self, cores: u32) -> usize {
+        self.provider.vms().filter(|vm| vm.size.cores() == cores).count()
+    }
+}

@@ -1,0 +1,258 @@
+//! The SCAN platform world: the event-driven integration of Data Broker,
+//! Scheduler and Workers over the simulated hybrid cloud.
+//!
+//! Event flow (§III-A.2):
+//!
+//! 1. **Arrival** — a batch of jobs lands; the allocation policy picks
+//!    each job's execution plan, the broker registers and shards its
+//!    dataset, and the stage-1 subtasks join their class queues
+//!    ([`admission`]).
+//! 2. **Dispatch** — idle workers of the right shape take queue heads
+//!    (FIFO). A stalled class triggers the horizontal-scaling decision:
+//!    use private capacity, hire public (Eq. 1 delay cost vs hire cost
+//!    under the predictive policy), reshape an idle worker (when the
+//!    heterogeneous configuration allows), or wait ([`dispatch`],
+//!    [`hiring`]).
+//! 3. **SubtaskDone** — the worker idles; when a stage's last shard
+//!    finishes, the job advances (or completes, earning its reward).
+//! 4. **IdleSweep** — workers idle past the timeout are released, so cost
+//!    tracks load ([`lifecycle`]).
+//! 5. **Replan** — long-term policies re-optimise; the adaptive policy
+//!    additionally refreshes the knowledge-base-learned stage models from
+//!    live task logs.
+//!
+//! Every step is narrated to the sim-trace layer as [`TraceEvent`]s, and
+//! the session's [`SessionMetrics`] are *produced from that stream* by
+//! the [`MetricsAggregator`] observer ([`accounting`]) — the platform
+//! itself keeps no metric counters beyond what its policies need. Extra
+//! observers (ring buffers, JSONL writers) attach through
+//! [`Platform::add_observer`].
+
+mod accounting;
+mod admission;
+mod dispatch;
+mod events;
+mod hiring;
+mod lifecycle;
+#[cfg(test)]
+mod tests;
+
+pub use accounting::MetricsAggregator;
+pub use events::Event;
+
+use crate::broker::DataBroker;
+use crate::config::ScanConfig;
+use crate::metrics::SessionMetrics;
+use events::JobRun;
+use scan_cloud::provider::CloudProvider;
+use scan_cloud::tier::{BillingMode, Tier, TierCatalog, TierId};
+use scan_cloud::vm::VmId;
+use scan_sched::alloc::{AllocationPolicy, Allocator};
+use scan_sched::delay_cost::QueuedJobView;
+use scan_sched::estimate::EttEstimator;
+use scan_sched::learned::EpsilonGreedyPlanner;
+use scan_sched::plan::candidate_plans;
+use scan_sched::queue::{QueueSet, TaskClass};
+use scan_sim::{
+    Calendar, Engine, EventHandler, ObserverHandle, RngHub, SimRng, SimTime, StepOutcome, Tracer,
+};
+use scan_workload::arrivals::ArrivalProcess;
+use scan_workload::gatk::PipelineModel;
+use scan_workload::job::JobId;
+use scan_workload::reward::RewardFn;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// The assembled platform; drives itself through [`Engine`]. A thin
+/// coordinator: the subsystem logic lives in this module's submodules,
+/// each an `impl Platform` block over one concern.
+pub struct Platform {
+    cfg: ScanConfig,
+    reward: RewardFn,
+    true_model: PipelineModel,
+    arrivals: ArrivalProcess,
+    broker: DataBroker,
+    provider: CloudProvider,
+    private_tier: TierId,
+    public_tier: TierId,
+    estimator: EttEstimator,
+    allocator: Allocator,
+    queues: QueueSet<events::SubtaskRef>,
+    jobs: HashMap<JobId, JobRun>,
+    idle_by_size: BTreeMap<u32, BTreeSet<VmId>>,
+    busy_until: HashMap<VmId, SimTime>,
+    /// Hires/reshapes in flight per class, so a stalled queue does not
+    /// hire one VM per dispatch pass.
+    pending: BTreeMap<TaskClass, u32>,
+    vm_reserved_for: HashMap<VmId, TaskClass>,
+    /// Standing worker-pool targets per instance size (VM counts): "the
+    /// SCAN Scheduler maintains analytic task queues and pools of SCAN
+    /// workers" (§III-A). Sized from the learned model + load forecast.
+    standing_target: BTreeMap<u32, u32>,
+    exec_noise: SimRng,
+    /// §VI learned policy: the ε-greedy bandit and its RNG stream. The
+    /// bandit works in *epochs* (one arm per replan period, scored by the
+    /// epoch's realised profit per run) so worker pools stay coherent —
+    /// mixing many plan shapes job-by-job thrashes the pools.
+    learned: Option<EpsilonGreedyPlanner>,
+    learned_rng: SimRng,
+    learned_arm: Option<usize>,
+    epoch_start: (f64, f64, u64), // (reward, cost, completed) at epoch start
+    // --- adaptive-policy state ---
+    observed_rate: f64,
+    observed_size: f64,
+    last_arrival_at: SimTime,
+    adaptive_ingest_counter: u64,
+    // --- learned-epoch scoring (the only metrics the platform keeps) ---
+    total_reward: f64,
+    completed: u64,
+    // --- observability ---
+    tracer: Tracer,
+    aggregator: Rc<RefCell<MetricsAggregator>>,
+    /// Scratch for the Eq. 1 queue view, reused across scaling decisions
+    /// so the dispatch hot path allocates nothing per event (DESIGN §7).
+    scaling_scratch: Vec<QueuedJobView>,
+    scaling_seen: BTreeSet<JobId>,
+}
+
+impl Platform {
+    /// Builds the platform for one `(config, repetition)` pair.
+    pub fn new(cfg: ScanConfig, repetition: u64) -> Self {
+        let hub = RngHub::new(cfg.seed, repetition);
+        let true_model = cfg.true_model();
+        let mut kb_rng = hub.stream("kb-bootstrap");
+        let broker = DataBroker::bootstrap(&true_model, cfg.fixed.profile_noise, &mut kb_rng);
+
+        let catalog = TierCatalog::new(vec![
+            Tier {
+                name: "private".into(),
+                cost_per_core_tu: cfg.fixed.private_core_cost,
+                capacity_cores: Some(cfg.fixed.private_capacity_cores),
+                billing: BillingMode::BusyTime,
+            },
+            Tier {
+                name: "public".into(),
+                cost_per_core_tu: cfg.variable.public_core_cost,
+                capacity_cores: None,
+                billing: BillingMode::HiredTime,
+            },
+        ]);
+        let provider = CloudProvider::new(catalog);
+
+        let arrivals = ArrivalProcess::new(
+            cfg.arrival_config(),
+            hub.stream("arrival-timing"),
+            hub.stream("arrival-sizes"),
+        );
+
+        let estimator = EttEstimator::new(broker.learned_model().clone(), cfg.fixed.eqt_alpha);
+        let allocator = Allocator::new(cfg.variable.allocation, cfg.fixed.replan_period_tu);
+        let learned = (cfg.variable.allocation == AllocationPolicy::Learned).then(|| {
+            // Warm-start each arm with its model-predicted profit, so
+            // exploration starts from the analytic ranking instead of
+            // paying full price to try arms the model knows are bad.
+            let arms = candidate_plans(broker.learned_model(), cfg.fixed.mean_job_size);
+            let objective = scan_sched::plan::PlanObjective {
+                reward: cfg.reward_fn(),
+                price_per_core_tu: cfg.fixed.private_core_cost * cfg.fixed.overhead_price_factor,
+                overhead_tu: 1.0,
+            };
+            let priors: Vec<f64> = arms
+                .iter()
+                .map(|plan| {
+                    scan_sched::plan::evaluate_plan(
+                        broker.learned_model(),
+                        cfg.fixed.mean_job_size,
+                        plan,
+                        &objective,
+                    )
+                    .profit
+                })
+                .collect();
+            EpsilonGreedyPlanner::with_priors(arms, priors, 0.05)
+        });
+        let reward = cfg.reward_fn();
+        let observed_rate = cfg.arrival_config().mean_job_rate();
+        let observed_size = cfg.fixed.mean_job_size;
+
+        // The session's metrics are an observer like any other; it is
+        // attached first so it sees every event of the run.
+        let aggregator = Rc::new(RefCell::new(MetricsAggregator::new()));
+        let mut tracer = Tracer::disabled();
+        tracer.attach(aggregator.clone());
+
+        Platform {
+            reward,
+            true_model,
+            arrivals,
+            broker,
+            provider,
+            private_tier: TierId(0),
+            public_tier: TierId(1),
+            estimator,
+            allocator,
+            queues: QueueSet::new(),
+            jobs: HashMap::new(),
+            idle_by_size: BTreeMap::new(),
+            busy_until: HashMap::new(),
+            pending: BTreeMap::new(),
+            vm_reserved_for: HashMap::new(),
+            standing_target: BTreeMap::new(),
+            exec_noise: hub.stream("exec-noise"),
+            learned,
+            learned_rng: hub.stream("learned-policy"),
+            learned_arm: None,
+            epoch_start: (0.0, 0.0, 0),
+            observed_rate,
+            observed_size,
+            last_arrival_at: SimTime::ZERO,
+            adaptive_ingest_counter: 0,
+            total_reward: 0.0,
+            completed: 0,
+            tracer,
+            aggregator,
+            scaling_scratch: Vec::new(),
+            scaling_seen: BTreeSet::new(),
+            cfg,
+        }
+    }
+
+    /// Attaches a trace observer to the session. Must be called before
+    /// [`Platform::run`]: the subsystems snapshot the sink list when the
+    /// run starts, so later attachments would miss provider events.
+    pub fn add_observer(&mut self, sink: ObserverHandle) {
+        self.tracer.attach(sink);
+    }
+
+    /// Runs the full session and returns its metrics.
+    pub fn run(mut self) -> SessionMetrics {
+        // Hand the provider the sink list before the first hire so the
+        // initial standing-pool hires are narrated too.
+        self.provider.set_tracer(self.tracer.clone());
+        let horizon = SimTime::new(self.cfg.fixed.sim_time_tu);
+        let mut engine: Engine<Event> = Engine::with_horizon(horizon);
+        let cal = engine.calendar_mut();
+        self.resize_standing_pools(SimTime::ZERO, cal);
+        cal.schedule(self.arrivals.next_arrival_at().min(horizon), Event::Arrival);
+        cal.schedule(SimTime::new(1.0), Event::IdleSweep);
+        cal.schedule(SimTime::new(self.cfg.fixed.replan_period_tu), Event::Replan);
+        let report = engine.run(&mut self);
+        self.finish(report.ended_at, report.events_dispatched)
+    }
+}
+
+impl EventHandler for Platform {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, cal: &mut Calendar<Event>) -> StepOutcome {
+        match event {
+            Event::Arrival => self.on_arrival(now, cal),
+            Event::VmReady(vm) => self.on_vm_ready(now, vm, cal),
+            Event::SubtaskDone { job, stage, vm } => self.on_subtask_done(now, job, stage, vm, cal),
+            Event::IdleSweep => self.on_idle_sweep(now, cal),
+            Event::Replan => self.on_replan(now, cal),
+        }
+        StepOutcome::Continue
+    }
+}

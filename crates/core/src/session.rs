@@ -1,12 +1,54 @@
-//! One seeded session run.
+//! One seeded session run, with optional trace observers.
 
 use crate::config::ScanConfig;
 use crate::metrics::SessionMetrics;
 use crate::platform::Platform;
+use scan_sim::{JsonlWriter, ObserverHandle};
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::rc::Rc;
 
 /// Runs one repetition of one configuration to completion.
 pub fn run_session(cfg: &ScanConfig, repetition: u64) -> SessionMetrics {
     Platform::new(cfg.clone(), repetition).run()
+}
+
+/// Runs one repetition with extra trace observers attached (beyond the
+/// session's own metrics aggregator).
+pub fn run_session_observed(
+    cfg: &ScanConfig,
+    repetition: u64,
+    observers: Vec<ObserverHandle>,
+) -> SessionMetrics {
+    let mut platform = Platform::new(cfg.clone(), repetition);
+    for sink in observers {
+        platform.add_observer(sink);
+    }
+    platform.run()
+}
+
+/// Runs one repetition streaming its full typed trace to `path` as JSON
+/// lines. Returns the session metrics, or the I/O error that truncated
+/// the trace.
+pub fn run_session_traced(
+    cfg: &ScanConfig,
+    repetition: u64,
+    path: &Path,
+) -> io::Result<SessionMetrics> {
+    let writer = JsonlWriter::new(BufWriter::new(File::create(path)?));
+    let sink = Rc::new(RefCell::new(writer));
+    let metrics = run_session_observed(cfg, repetition, vec![sink.clone()]);
+    // The platform (and every tracer clone) is gone; reclaim the writer
+    // to flush it and surface any latched write error.
+    let writer =
+        Rc::try_unwrap(sink).ok().expect("trace sink uniquely owned after the run").into_inner();
+    if writer.errored() {
+        return Err(io::Error::other("trace write failed; output truncated"));
+    }
+    writer.into_inner().flush()?;
+    Ok(metrics)
 }
 
 #[cfg(test)]
@@ -15,11 +57,30 @@ mod tests {
     use crate::config::VariableParams;
     use scan_sched::scaling::ScalingPolicy;
 
-    #[test]
-    fn run_session_smoke() {
+    fn cfg() -> ScanConfig {
         let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.8), 5);
         cfg.fixed.sim_time_tu = 150.0;
-        let m = run_session(&cfg, 3);
+        cfg
+    }
+
+    #[test]
+    fn run_session_smoke() {
+        let m = run_session(&cfg(), 3);
         assert!(m.jobs_submitted > 0);
+    }
+
+    #[test]
+    fn traced_session_writes_jsonl_and_matches_untraced() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("scan-trace-test-{}.jsonl", std::process::id()));
+        let traced = run_session_traced(&cfg(), 3, &path).expect("trace written");
+        let plain = run_session(&cfg(), 3);
+        assert_eq!(traced, plain, "tracing must not perturb the session");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 100, "trace has {} lines", lines.len());
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines.last().unwrap().contains("\"kind\":\"run_ended\""));
     }
 }

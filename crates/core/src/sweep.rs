@@ -40,9 +40,8 @@ pub fn sweep_grid(
     // Flatten so rayon load-balances across the full space (cells differ
     // wildly in event counts: heavy-load never-scale cells are cheap,
     // always-scale cells are not).
-    let flat: Vec<(usize, u64)> = (0..cells.len())
-        .flat_map(|c| (0..repetitions).map(move |r| (c, r)))
-        .collect();
+    let flat: Vec<(usize, u64)> =
+        (0..cells.len()).flat_map(|c| (0..repetitions).map(move |r| (c, r))).collect();
     let sessions: Vec<(usize, SessionMetrics)> = flat
         .into_par_iter()
         .map(|(c, rep)| {

@@ -97,7 +97,8 @@ impl KmerIndex {
         };
 
         let Some((chrom, pos, votes, runner_up)) = candidate.map(|(c, p, v)| {
-            let ru = if reverse { fwd.map(|f| f.2).unwrap_or(0) } else { rev.map(|r| r.2).unwrap_or(0) };
+            let ru =
+                if reverse { fwd.map(|f| f.2).unwrap_or(0) } else { rev.map(|r| r.2).unwrap_or(0) };
             (c, p, v, ru)
         }) else {
             return SamRecord::unmapped(read.id.clone(), read.seq.clone(), read.qual.clone());

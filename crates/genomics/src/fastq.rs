@@ -94,8 +94,10 @@ pub enum FastqError {
     /// Separator line was not `+`.
     BadSeparator(usize),
     /// Sequence and quality lines differ in length.
-    LengthMismatch { /// Offset of the offending record.
-        at: usize },
+    LengthMismatch {
+        /// Offset of the offending record.
+        at: usize,
+    },
 }
 
 impl fmt::Display for FastqError {

@@ -42,4 +42,4 @@ pub use fastq::FastqRecord;
 pub use sam::SamRecord;
 pub use shard::{plan_shards, ShardPlan};
 pub use synth::{ReadSimulator, ReferenceGenome};
-pub use variant::{VcfRecord, VariantCaller};
+pub use variant::{VariantCaller, VcfRecord};

@@ -140,9 +140,7 @@ impl GatkLikePipeline {
 
         // Stage 2: SortAlignments (coordinate order).
         let t = Instant::now();
-        records.sort_by(|a, b| {
-            (a.ref_id, a.pos, &a.qname).cmp(&(b.ref_id, b.pos, &b.qname))
-        });
+        records.sort_by(|a, b| (a.ref_id, a.pos, &a.qname).cmp(&(b.ref_id, b.pos, &b.qname)));
         times[1] = t.elapsed().as_secs_f64();
 
         // Stage 3: BaseRecalibration — measure the empirical mismatch rate

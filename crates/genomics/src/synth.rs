@@ -80,7 +80,11 @@ impl ReferenceGenome {
     /// Copies the genome and plants `n` random SNVs, returning the mutated
     /// "sample genome" and the ground-truth variant list (positions are
     /// unique per chromosome).
-    pub fn plant_variants(&self, rng: &mut SimRng, n: usize) -> (ReferenceGenome, Vec<PlantedVariant>) {
+    pub fn plant_variants(
+        &self,
+        rng: &mut SimRng,
+        n: usize,
+    ) -> (ReferenceGenome, Vec<PlantedVariant>) {
         let mut sample = self.chromosomes.clone();
         let mut variants = Vec::with_capacity(n);
         let mut used = std::collections::HashSet::new();
@@ -133,7 +137,12 @@ impl Default for ReadSimulator {
 impl ReadSimulator {
     /// Samples `n` reads uniformly from `genome`. Read ids encode the true
     /// origin as `r<i>:<chrom>:<pos>:<strand>`.
-    pub fn simulate(&self, rng: &mut SimRng, genome: &ReferenceGenome, n: usize) -> Vec<FastqRecord> {
+    pub fn simulate(
+        &self,
+        rng: &mut SimRng,
+        genome: &ReferenceGenome,
+        n: usize,
+    ) -> Vec<FastqRecord> {
         assert!(self.read_len > 0);
         (0..n).map(|i| self.one_read(rng, genome, i)).collect()
     }
@@ -225,11 +234,7 @@ mod tests {
         // Everything else identical.
         let mutated: usize = (0..2)
             .map(|c| {
-                g.chromosome(c)
-                    .iter()
-                    .zip(sample.chromosome(c))
-                    .filter(|(a, b)| a != b)
-                    .count()
+                g.chromosome(c).iter().zip(sample.chromosome(c)).filter(|(a, b)| a != b).count()
             })
             .sum();
         assert_eq!(mutated, 50);

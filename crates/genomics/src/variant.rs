@@ -77,7 +77,15 @@ impl VcfRecord {
                 _ => {}
             }
         }
-        Some(VcfRecord { chrom, pos: pos1.checked_sub(1)?, ref_base, alt_base, qual, depth, alt_count })
+        Some(VcfRecord {
+            chrom,
+            pos: pos1.checked_sub(1)?,
+            ref_base,
+            alt_base,
+            qual,
+            depth,
+            alt_count,
+        })
     }
 }
 
@@ -256,8 +264,24 @@ mod tests {
     #[test]
     fn vcf_file_roundtrip_sorted() {
         let rs = vec![
-            VcfRecord { chrom: 1, pos: 10, ref_base: 'A', alt_base: 'C', qual: 50.0, depth: 10, alt_count: 9 },
-            VcfRecord { chrom: 0, pos: 99, ref_base: 'G', alt_base: 'T', qual: 60.0, depth: 12, alt_count: 11 },
+            VcfRecord {
+                chrom: 1,
+                pos: 10,
+                ref_base: 'A',
+                alt_base: 'C',
+                qual: 50.0,
+                depth: 10,
+                alt_count: 9,
+            },
+            VcfRecord {
+                chrom: 0,
+                pos: 99,
+                ref_base: 'G',
+                alt_base: 'T',
+                qual: 60.0,
+                depth: 12,
+                alt_count: 11,
+            },
         ];
         let text = write_vcf(&rs);
         assert!(text.starts_with("##fileformat"));
@@ -273,10 +297,34 @@ mod tests {
 
     #[test]
     fn merge_vcf_dedups_and_sums() {
-        let a = vec![VcfRecord { chrom: 0, pos: 5, ref_base: 'A', alt_base: 'G', qual: 30.0, depth: 10, alt_count: 6 }];
+        let a = vec![VcfRecord {
+            chrom: 0,
+            pos: 5,
+            ref_base: 'A',
+            alt_base: 'G',
+            qual: 30.0,
+            depth: 10,
+            alt_count: 6,
+        }];
         let b = vec![
-            VcfRecord { chrom: 0, pos: 5, ref_base: 'A', alt_base: 'G', qual: 45.0, depth: 8, alt_count: 5 },
-            VcfRecord { chrom: 0, pos: 2, ref_base: 'C', alt_base: 'T', qual: 20.0, depth: 4, alt_count: 4 },
+            VcfRecord {
+                chrom: 0,
+                pos: 5,
+                ref_base: 'A',
+                alt_base: 'G',
+                qual: 45.0,
+                depth: 8,
+                alt_count: 5,
+            },
+            VcfRecord {
+                chrom: 0,
+                pos: 2,
+                ref_base: 'C',
+                alt_base: 'T',
+                qual: 20.0,
+                depth: 4,
+                alt_count: 4,
+            },
         ];
         let merged = merge_vcf(&[a, b]);
         assert_eq!(merged.len(), 2);

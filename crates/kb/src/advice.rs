@@ -154,8 +154,7 @@ impl KnowledgeBase {
 
         match best {
             Some(row) => {
-                let chunk =
-                    row.get("size").and_then(|t| t.as_f64()).unwrap_or(DEFAULT_CHUNK_GB);
+                let chunk = row.get("size").and_then(|t| t.as_f64()).unwrap_or(DEFAULT_CHUNK_GB);
                 let chunk = chunk.clamp(MIN_CHUNK_GB, MAX_CHUNK_GB);
                 let cpu = row.get("cpu").and_then(|t| t.as_f64()).unwrap_or(1.0) as u32;
                 let ram_gb = row.get("ram").and_then(|t| t.as_f64()).unwrap_or(4.0);
@@ -232,9 +231,7 @@ impl KnowledgeBase {
         application: &str,
         n_stages: u32,
     ) -> BTreeMap<u32, StageModelEstimate> {
-        (1..=n_stages)
-            .filter_map(|s| self.stage_model(application, s).map(|m| (s, m)))
-            .collect()
+        (1..=n_stages).filter_map(|s| self.stage_model(application, s).map(|m| (s, m))).collect()
     }
 }
 
@@ -345,7 +342,10 @@ mod tests {
         assert!((m.c - c).abs() < 1e-9, "c = {}", m.c);
         assert!(m.r_squared_linear > 0.999);
         // And the estimator matches the analytic model.
-        assert!((m.threaded_time(4, 5.0) - (c * (a * 5.0 + b) / 4.0 + (1.0 - c) * (a * 5.0 + b))).abs() < 1e-9);
+        assert!(
+            (m.threaded_time(4, 5.0) - (c * (a * 5.0 + b) / 4.0 + (1.0 - c) * (a * 5.0 + b))).abs()
+                < 1e-9
+        );
     }
 
     #[test]

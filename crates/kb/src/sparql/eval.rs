@@ -108,8 +108,7 @@ impl Query {
         let mut seen: std::collections::HashSet<Vec<Option<NodeId>>> =
             std::collections::HashSet::new();
         for sol in &solutions {
-            let key: Vec<Option<NodeId>> =
-                variables.iter().map(|v| sol.get(v).copied()).collect();
+            let key: Vec<Option<NodeId>> = variables.iter().map(|v| sol.get(v).copied()).collect();
             if self.distinct && !seen.insert(key.clone()) {
                 continue;
             }
@@ -123,11 +122,8 @@ impl Query {
 
         // Slice.
         let offset = self.offset.unwrap_or(0);
-        let rows: Vec<Binding> = rows
-            .into_iter()
-            .skip(offset)
-            .take(self.limit.unwrap_or(usize::MAX))
-            .collect();
+        let rows: Vec<Binding> =
+            rows.into_iter().skip(offset).take(self.limit.unwrap_or(usize::MAX)).collect();
 
         Ok(QueryResults { variables, rows })
     }
@@ -437,16 +433,16 @@ mod tests {
     #[test]
     fn filter_division_by_zero_rejects() {
         let st = demo_store();
-        let q = parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a / 0 > 1) }")
-            .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a / 0 > 1) }").unwrap();
         assert!(q.execute(&st).unwrap().is_empty());
     }
 
     #[test]
     fn filter_unbound_var_rejects() {
         let st = demo_store();
-        let q = parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?nope > 1) }")
-            .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?nope > 1) }").unwrap();
         assert!(q.execute(&st).unwrap().is_empty());
     }
 
@@ -469,10 +465,8 @@ mod tests {
     #[test]
     fn order_by_descending_and_column() {
         let st = demo_store();
-        let q = parse_query(
-            "SELECT ?a WHERE { ?x <http://p/age> ?a . } ORDER BY DESC(?a)",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?a WHERE { ?x <http://p/age> ?a . } ORDER BY DESC(?a)").unwrap();
         let res = q.execute(&st).unwrap();
         assert_eq!(res.column_f64("a"), vec![35.0, 30.0, 25.0]);
     }
@@ -481,10 +475,8 @@ mod tests {
     fn order_by_expression() {
         let st = demo_store();
         // Sort by negated age == ascending by -age == descending by age.
-        let q = parse_query(
-            "SELECT ?a WHERE { ?x <http://p/age> ?a . } ORDER BY ASC(0 - ?a)",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?a WHERE { ?x <http://p/age> ?a . } ORDER BY ASC(0 - ?a)").unwrap();
         let res = q.execute(&st).unwrap();
         assert_eq!(res.column_f64("a"), vec![35.0, 30.0, 25.0]);
     }
@@ -494,10 +486,8 @@ mod tests {
         let mut st = TripleStore::new();
         st.insert_terms(Term::iri("http://x/i"), Term::iri("http://x/perf"), Term::str("good"));
         st.insert_terms(Term::iri("http://x/j"), Term::iri("http://x/perf"), Term::str("bad"));
-        let q = parse_query(
-            "SELECT ?s WHERE { ?s <http://x/perf> ?p . FILTER (?p = \"good\") }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?s WHERE { ?s <http://x/perf> ?p . FILTER (?p = \"good\") }")
+            .unwrap();
         let res = q.execute(&st).unwrap();
         assert_eq!(res.len(), 1);
     }
@@ -505,10 +495,9 @@ mod tests {
     #[test]
     fn arithmetic_in_filters() {
         let st = demo_store();
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a * 2 - 10 >= 50) }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <http://p/age> ?a . FILTER (?a * 2 - 10 >= 50) }")
+                .unwrap();
         let res = q.execute(&st).unwrap();
         assert_eq!(res.len(), 2); // 30 and 35
     }

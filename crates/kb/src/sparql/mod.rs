@@ -82,7 +82,11 @@ mod tests {
                 Term::iri(format!("{NS}Application")),
             );
             let mut prop = |p: &str, v: i64| {
-                st.insert_terms(Term::iri(subj.clone()), Term::iri(format!("{NS}{p}")), Term::int(v));
+                st.insert_terms(
+                    Term::iri(subj.clone()),
+                    Term::iri(format!("{NS}{p}")),
+                    Term::int(v),
+                );
             };
             prop("inputFileSize", size);
             prop("steps", steps);
@@ -218,7 +222,6 @@ mod tests {
 
     #[test]
     fn unknown_prefix_is_eval_error() {
-        let st = paper_store();
         let q = parse_query("SELECT ?x WHERE { ?x nope:prop ?y . }");
         // Prefix resolution happens at parse time in this engine.
         assert!(matches!(q, Err(SparqlError::Parse(_))));

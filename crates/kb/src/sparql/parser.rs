@@ -362,9 +362,7 @@ impl Parser {
             Token::Str(s) => Ok(Expr::Const(Term::str(s))),
             Token::Bool(b) => Ok(Expr::Const(Term::bool(b))),
             Token::Iri(i) => Ok(Expr::Const(Term::Iri(i))),
-            Token::Prefixed(p, l) => {
-                Ok(Expr::Const(Term::Iri(self.resolve_prefixed(&p, &l)?)))
-            }
+            Token::Prefixed(p, l) => Ok(Expr::Const(Term::Iri(self.resolve_prefixed(&p, &l)?))),
             other => Err(SparqlError::Parse(format!("expected expression, found {other:?}"))),
         }
     }
@@ -384,10 +382,8 @@ mod tests {
 
     #[test]
     fn prefixes_resolved_at_parse_time() {
-        let q = parse_query(
-            "PREFIX scan: <http://x/scan#> SELECT ?a WHERE { ?a scan:eTime ?t . }",
-        )
-        .unwrap();
+        let q = parse_query("PREFIX scan: <http://x/scan#> SELECT ?a WHERE { ?a scan:eTime ?t . }")
+            .unwrap();
         match &q.wher.elements[0] {
             PatternElement::Triple(_, QueryTerm::Const(Term::Iri(iri)), _) => {
                 assert_eq!(iri, "http://x/scan#eTime");

@@ -124,28 +124,25 @@ impl TripleStore {
 
     /// Iterates over every triple matching `pattern`, in a deterministic
     /// order. Chooses the most selective index for the bound positions.
-    pub fn matching<'a>(
-        &'a self,
-        pattern: TriplePattern,
-    ) -> Box<dyn Iterator<Item = Triple> + 'a> {
+    pub fn matching<'a>(&'a self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + 'a> {
         use PatternSlot::*;
         match (pattern.s, pattern.p, pattern.o) {
             (Bound(s), Bound(p), Bound(o)) => {
                 let hit = self.spo.contains(&(s, p, o));
                 Box::new(hit.then_some((s, p, o)).into_iter())
             }
-            (Bound(s), Bound(p), Any) => Box::new(
-                range3(&self.spo, s, Some(p)).map(|&(s, p, o)| (s, p, o)),
-            ),
+            (Bound(s), Bound(p), Any) => {
+                Box::new(range3(&self.spo, s, Some(p)).map(|&(s, p, o)| (s, p, o)))
+            }
             (Bound(s), Any, Any) => {
                 Box::new(range3(&self.spo, s, None).map(|&(s, p, o)| (s, p, o)))
             }
-            (Bound(s), Any, Bound(o)) => Box::new(
-                range3(&self.osp, o, Some(s)).map(|&(o, s, p)| (s, p, o)),
-            ),
-            (Any, Bound(p), Bound(o)) => Box::new(
-                range3(&self.pos, p, Some(o)).map(|&(p, o, s)| (s, p, o)),
-            ),
+            (Bound(s), Any, Bound(o)) => {
+                Box::new(range3(&self.osp, o, Some(s)).map(|&(o, s, p)| (s, p, o)))
+            }
+            (Any, Bound(p), Bound(o)) => {
+                Box::new(range3(&self.pos, p, Some(o)).map(|&(p, o, s)| (s, p, o)))
+            }
             (Any, Bound(p), Any) => {
                 Box::new(range3(&self.pos, p, None).map(|&(p, o, s)| (s, p, o)))
             }
@@ -215,16 +212,15 @@ impl TripleStore {
 
 /// Range-scan helper over an index ordered as `(k1, k2, k3)`: yields all
 /// entries with first component `k1` (and second `k2` when given).
-fn range3<'a>(
-    index: &'a BTreeSet<(NodeId, NodeId, NodeId)>,
+fn range3(
+    index: &BTreeSet<(NodeId, NodeId, NodeId)>,
     k1: NodeId,
     k2: Option<NodeId>,
-) -> impl Iterator<Item = &'a (NodeId, NodeId, NodeId)> {
+) -> impl Iterator<Item = &(NodeId, NodeId, NodeId)> {
     let (lo, hi) = match k2 {
-        Some(k2) => (
-            Bound::Included((k1, k2, NodeId(0))),
-            Bound::Included((k1, k2, NodeId(u32::MAX))),
-        ),
+        Some(k2) => {
+            (Bound::Included((k1, k2, NodeId(0))), Bound::Included((k1, k2, NodeId(u32::MAX))))
+        }
         None => (
             Bound::Included((k1, NodeId(0), NodeId(0))),
             Bound::Included((k1, NodeId(u32::MAX), NodeId(u32::MAX))),

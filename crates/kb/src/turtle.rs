@@ -193,10 +193,8 @@ impl<'a> TurtleParser<'a> {
 
     fn parse_prefix(&mut self) -> Result<(), TurtleError> {
         self.skip_ws();
-        let name_end = self
-            .rest()
-            .find(':')
-            .ok_or_else(|| self.err("expected ':' in @prefix declaration"))?;
+        let name_end =
+            self.rest().find(':').ok_or_else(|| self.err("expected ':' in @prefix declaration"))?;
         let name = self.rest()[..name_end].trim().to_string();
         self.pos += name_end + 1;
         self.skip_ws();
@@ -287,7 +285,12 @@ impl<'a> TurtleParser<'a> {
                 let number: String = rest
                     .chars()
                     .take_while(|&c| {
-                        c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+                        c.is_ascii_digit()
+                            || c == '.'
+                            || c == '-'
+                            || c == '+'
+                            || c == 'e'
+                            || c == 'E'
                     })
                     .collect();
                 self.pos += number.len();
@@ -307,9 +310,7 @@ impl<'a> TurtleParser<'a> {
                 // true/false, or a prefixed name.
                 let word: String = rest
                     .chars()
-                    .take_while(|&c| {
-                        c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':'
-                    })
+                    .take_while(|&c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':')
                     .collect();
                 if word.is_empty() {
                     return Err(self.err(format!("unexpected character '{first}'")));

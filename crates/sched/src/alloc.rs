@@ -148,8 +148,7 @@ impl Allocator {
     ) -> ExecutionPlan {
         match self.policy {
             AllocationPolicy::Greedy => {
-                let price =
-                    if ctx.private_free_now { ctx.private_price } else { ctx.public_price };
+                let price = if ctx.private_free_now { ctx.private_price } else { ctx.public_price };
                 let objective = PlanObjective {
                     reward: ctx.reward,
                     price_per_core_tu: price,
@@ -308,11 +307,8 @@ mod tests {
         let m = PipelineModel::paper();
         let c = ctx(&m);
         let plan = best_constant_plan(&c);
-        let objective = PlanObjective {
-            reward: c.reward,
-            price_per_core_tu: 5.0,
-            overhead_tu: 1.0,
-        };
+        let objective =
+            PlanObjective { reward: c.reward, price_per_core_tu: 5.0, overhead_tu: 1.0 };
         let chosen = evaluate_plan(&m, 5.0, &plan, &objective);
         let serial = evaluate_plan(&m, 5.0, &ExecutionPlan::serial(7), &objective);
         assert!(chosen.profit > serial.profit);

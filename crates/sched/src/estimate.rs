@@ -103,13 +103,7 @@ impl EttEstimator {
     /// Eq. 2: estimated total latency of `job`, which has completed stages
     /// `0..current_stage` and now sits at `current_stage`, under `plan`
     /// (per-stage `(shards, threads)`).
-    pub fn ett(
-        &self,
-        job: &Job,
-        current_stage: usize,
-        plan: &[(u32, u32)],
-        now: SimTime,
-    ) -> f64 {
+    pub fn ett(&self, job: &Job, current_stage: usize, plan: &[(u32, u32)], now: SimTime) -> f64 {
         assert_eq!(plan.len(), self.model.n_stages());
         let elapsed = job.latency(now);
         let future: f64 = (current_stage..self.model.n_stages())

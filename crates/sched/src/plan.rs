@@ -409,12 +409,7 @@ mod tests {
         let m = model();
         let p = ExecutionPlan::serial(7);
         let no = evaluate_plan(&m, 5.0, &p, &time_obj(5.0));
-        let with = evaluate_plan(
-            &m,
-            5.0,
-            &p,
-            &PlanObjective { overhead_tu: 4.0, ..time_obj(5.0) },
-        );
+        let with = evaluate_plan(&m, 5.0, &p, &PlanObjective { overhead_tu: 4.0, ..time_obj(5.0) });
         assert_eq!(no.cost, with.cost);
         assert!(with.reward < no.reward);
         assert!((with.total_latency - no.total_latency - 4.0).abs() < 1e-9);

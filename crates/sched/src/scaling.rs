@@ -10,8 +10,13 @@
 //! * **Never-scale** — never pay public prices; wait for a private worker.
 //! * **Predictive** — hire iff the Eq. 1 delay cost of the projected wait
 //!   exceeds the cost of the hire.
+//!
+//! Every decision can be narrated to the sim-trace layer via
+//! [`ScalingPolicy::decide_traced`], carrying the Eq. 1 numbers that
+//! justified it — the paper's core comparison made observable.
 
 use crate::delay_cost::{delay_cost, QueuedJobView};
+use scan_sim::{ScalingChoice, SimTime, TraceEvent, Tracer};
 use scan_workload::reward::RewardFn;
 use serde::{Deserialize, Serialize};
 
@@ -42,17 +47,21 @@ impl ScalingPolicy {
     }
 }
 
-/// Everything a scaling decision sees.
+/// Everything a scaling decision sees. Borrows the stalled queue's view
+/// from the caller — the platform reuses one scratch buffer across
+/// decisions instead of allocating a `Vec` per dispatch pass.
 #[derive(Debug, Clone)]
-pub struct ScalingContext {
+pub struct ScalingContext<'a> {
     /// True if the private tier can host the needed shape right now.
     pub private_has_capacity: bool,
     /// Jobs affected by the stall (the stalled queue, Eq. 1's `Q`).
-    pub queued: Vec<QueuedJobView>,
+    pub queued: &'a [QueuedJobView],
     /// Projected wait until an existing worker frees up, TU.
     pub expected_wait_tu: f64,
     /// Public price per core·TU.
     pub public_price_per_core_tu: f64,
+    /// Pipeline stage of the stalled class (trace labelling).
+    pub stage: u32,
     /// Cores the new worker would need.
     pub cores_needed: u32,
     /// Boot penalty a new hire pays, TU.
@@ -74,49 +83,103 @@ pub enum ScalingDecision {
     Wait,
 }
 
+/// The Eq. 1 numbers behind a decision. Both are NaN when the deciding
+/// branch never priced the alternatives (private capacity was free, or
+/// the policy decides unconditionally).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionCosts {
+    /// Eq. 1 delay cost of waiting out the projected delay (CU).
+    pub delay_cost: f64,
+    /// Cost of hiring capacity for boot + one task (CU).
+    pub hire_cost: f64,
+}
+
+impl DecisionCosts {
+    /// The "no comparison was made" marker.
+    pub const UNPRICED: DecisionCosts = DecisionCosts { delay_cost: f64::NAN, hire_cost: f64::NAN };
+}
+
 impl ScalingPolicy {
     /// Decides for one stalled queue head.
-    pub fn decide(&self, ctx: &ScalingContext) -> ScalingDecision {
+    pub fn decide(&self, ctx: &ScalingContext<'_>) -> ScalingDecision {
+        self.decide_priced(ctx).0
+    }
+
+    /// Decides, and reports the delay-cost-versus-hire-cost comparison
+    /// that justified the decision (Eq. 1; NaN when unpriced).
+    pub fn decide_priced(&self, ctx: &ScalingContext<'_>) -> (ScalingDecision, DecisionCosts) {
         if ctx.private_has_capacity {
             // All policies use cheap private capacity when it exists —
             // never-scale means "never scale *beyond the private tier*".
-            return ScalingDecision::HirePrivate;
+            return (ScalingDecision::HirePrivate, DecisionCosts::UNPRICED);
         }
         match self {
-            ScalingPolicy::AlwaysScale => ScalingDecision::HirePublic,
-            ScalingPolicy::NeverScale => ScalingDecision::Wait,
+            ScalingPolicy::AlwaysScale => (ScalingDecision::HirePublic, DecisionCosts::UNPRICED),
+            ScalingPolicy::NeverScale => (ScalingDecision::Wait, DecisionCosts::UNPRICED),
             ScalingPolicy::Predictive => {
                 // What the queue loses by waiting for an existing worker
                 // (the new hire still pays the boot penalty, so the
                 // avoided delay is wait − boot, floored at zero).
                 let avoided_delay = (ctx.expected_wait_tu - ctx.boot_penalty_tu).max(0.0);
-                let dc = delay_cost(&ctx.reward, &ctx.queued, avoided_delay);
+                let dc = delay_cost(&ctx.reward, ctx.queued, avoided_delay);
                 // What the hire costs: public cores for boot + the task.
                 let hire_cost = ctx.public_price_per_core_tu
                     * ctx.cores_needed as f64
                     * (ctx.boot_penalty_tu + ctx.expected_task_tu);
-                if dc > hire_cost {
+                let decision = if dc > hire_cost {
                     ScalingDecision::HirePublic
                 } else {
                     ScalingDecision::Wait
-                }
+                };
+                (decision, DecisionCosts { delay_cost: dc, hire_cost })
             }
         }
+    }
+
+    /// Decides and emits a [`TraceEvent::ScalingDecision`] carrying the
+    /// Eq. 1 comparison. With no observer attached this costs exactly
+    /// what [`ScalingPolicy::decide`] costs.
+    pub fn decide_traced(
+        &self,
+        ctx: &ScalingContext<'_>,
+        at: SimTime,
+        tracer: &Tracer,
+    ) -> ScalingDecision {
+        let (decision, costs) = self.decide_priced(ctx);
+        tracer.emit_with(at, || TraceEvent::ScalingDecision {
+            stage: ctx.stage,
+            cores: ctx.cores_needed,
+            queued_jobs: ctx.queued.len() as u32,
+            delay_cost: costs.delay_cost,
+            hire_cost: costs.hire_cost,
+            choice: match decision {
+                ScalingDecision::HirePrivate => ScalingChoice::HirePrivate,
+                ScalingDecision::HirePublic => ScalingChoice::HirePublic,
+                ScalingDecision::Wait => ScalingChoice::Wait,
+            },
+        });
+        decision
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scan_sim::RingBuffer;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
-    fn ctx(private: bool, wait: f64, queue_len: usize) -> ScalingContext {
+    fn queue(len: usize) -> Vec<QueuedJobView> {
+        (0..len).map(|_| QueuedJobView { size_units: 5.0, ett: 15.0 }).collect()
+    }
+
+    fn ctx<'a>(private: bool, wait: f64, queued: &'a [QueuedJobView]) -> ScalingContext<'a> {
         ScalingContext {
             private_has_capacity: private,
-            queued: (0..queue_len)
-                .map(|_| QueuedJobView { size_units: 5.0, ett: 15.0 })
-                .collect(),
+            queued,
             expected_wait_tu: wait,
             public_price_per_core_tu: 50.0,
+            stage: 0,
             cores_needed: 4,
             boot_penalty_tu: 0.5,
             expected_task_tu: 3.0,
@@ -126,33 +189,33 @@ mod tests {
 
     #[test]
     fn everyone_prefers_private() {
+        let q = queue(5);
         for p in ScalingPolicy::all() {
-            assert_eq!(p.decide(&ctx(true, 10.0, 5)), ScalingDecision::HirePrivate);
+            assert_eq!(p.decide(&ctx(true, 10.0, &q)), ScalingDecision::HirePrivate);
         }
     }
 
     #[test]
     fn always_scale_always_hires_public() {
         assert_eq!(
-            ScalingPolicy::AlwaysScale.decide(&ctx(false, 0.1, 0)),
+            ScalingPolicy::AlwaysScale.decide(&ctx(false, 0.1, &[])),
             ScalingDecision::HirePublic
         );
     }
 
     #[test]
     fn never_scale_always_waits() {
-        assert_eq!(
-            ScalingPolicy::NeverScale.decide(&ctx(false, 100.0, 50)),
-            ScalingDecision::Wait
-        );
+        let q = queue(50);
+        assert_eq!(ScalingPolicy::NeverScale.decide(&ctx(false, 100.0, &q)), ScalingDecision::Wait);
     }
 
     #[test]
     fn predictive_hires_under_pressure() {
         // Long wait, deep queue: delay cost = 20 jobs × 5 units × 15 ×
         // (10 − 0.5) ≈ 14 250 ≫ hire cost 50 × 4 × 3.5 = 700.
+        let q = queue(20);
         assert_eq!(
-            ScalingPolicy::Predictive.decide(&ctx(false, 10.0, 20)),
+            ScalingPolicy::Predictive.decide(&ctx(false, 10.0, &q)),
             ScalingDecision::HirePublic
         );
     }
@@ -160,19 +223,59 @@ mod tests {
     #[test]
     fn predictive_waits_when_cheap() {
         // Tiny wait: avoided delay ≈ 0 → cost of waiting ≈ 0 < hire cost.
-        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 0.4, 20)), ScalingDecision::Wait);
+        let q = queue(20);
+        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 0.4, &q)), ScalingDecision::Wait);
         // Empty queue: nothing to lose by waiting.
-        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 10.0, 0)), ScalingDecision::Wait);
+        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 10.0, &[])), ScalingDecision::Wait);
     }
 
     #[test]
     fn predictive_threshold_scales_with_price() {
         // A wait that justifies hiring at 50 CU may not at 1000 CU:
         // DC = 3 × 5 × 15 × (5 − 0.5) ≈ 1012 vs hire 50 × 4 × 3.5 = 700.
-        let mut c = ctx(false, 5.0, 3);
+        let q = queue(3);
+        let mut c = ctx(false, 5.0, &q);
         assert_eq!(ScalingPolicy::Predictive.decide(&c), ScalingDecision::HirePublic);
         c.public_price_per_core_tu = 1000.0;
         assert_eq!(ScalingPolicy::Predictive.decide(&c), ScalingDecision::Wait);
+    }
+
+    #[test]
+    fn priced_decision_exposes_the_eq1_comparison() {
+        let q = queue(20);
+        let (d, costs) = ScalingPolicy::Predictive.decide_priced(&ctx(false, 10.0, &q));
+        assert_eq!(d, ScalingDecision::HirePublic);
+        assert!(costs.delay_cost > costs.hire_cost);
+        assert!((costs.hire_cost - 50.0 * 4.0 * 3.5).abs() < 1e-9);
+        // Unpriced branches report NaN.
+        let (_, unpriced) = ScalingPolicy::AlwaysScale.decide_priced(&ctx(false, 1.0, &q));
+        assert!(unpriced.delay_cost.is_nan() && unpriced.hire_cost.is_nan());
+    }
+
+    #[test]
+    fn traced_decision_emits_the_comparison() {
+        let ring = Rc::new(RefCell::new(RingBuffer::new(4)));
+        let mut tracer = Tracer::disabled();
+        tracer.attach(ring.clone());
+        let q = queue(20);
+        let d = ScalingPolicy::Predictive.decide_traced(
+            &ctx(false, 10.0, &q),
+            SimTime::new(7.0),
+            &tracer,
+        );
+        assert_eq!(d, ScalingDecision::HirePublic);
+        let ring = ring.borrow();
+        assert_eq!(ring.len(), 1);
+        let (at, ev) = ring.events().next().copied().unwrap();
+        assert_eq!(at, SimTime::new(7.0));
+        match ev {
+            TraceEvent::ScalingDecision { queued_jobs, delay_cost, hire_cost, choice, .. } => {
+                assert_eq!(queued_jobs, 20);
+                assert!(delay_cost > hire_cost);
+                assert_eq!(choice, ScalingChoice::HirePublic);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

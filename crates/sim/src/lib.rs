@@ -15,6 +15,10 @@
 //!   implemented from first principles so determinism is auditable.
 //! * [`stats`] — Welford online mean/variance, time-weighted averages for
 //!   utilisation-style metrics, and fixed-width histograms.
+//! * [`trace`] — a typed event vocabulary ([`TraceEvent`]) and pluggable
+//!   [`Observer`] sinks behind a zero-cost-when-disabled [`Tracer`], so
+//!   the platform's subsystems can narrate scheduling decisions, VM
+//!   lifecycle and job progress to whoever is listening.
 //!
 //! Everything is allocation-light in the hot path (events are plain enums
 //! moved through a `BinaryHeap`) and fully deterministic: two runs with the
@@ -28,9 +32,14 @@ pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use calendar::{Calendar, ScheduledEvent};
 pub use engine::{Engine, EventHandler, StepOutcome};
 pub use rng::{RngHub, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    JsonlWriter, NullObserver, Observer, ObserverHandle, RingBuffer, ScalingChoice, TraceEvent,
+    Tracer,
+};

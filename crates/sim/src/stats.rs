@@ -110,9 +110,8 @@ impl OnlineStats {
         let n_total = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n_total as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
         self.n = n_total;
         self.mean = mean;
         self.m2 = m2;
@@ -299,7 +298,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0);
         tw.set(SimTime::new(1.0), 10.0); // 0 for [0,1)
         tw.set(SimTime::new(3.0), 2.0); // 10 for [1,3)
-        // 2 for [3,4)
+                                        // 2 for [3,4)
         let avg = tw.average_until(SimTime::new(4.0));
         // integral = 0*1 + 10*2 + 2*1 = 22; avg = 5.5
         assert!((avg - 5.5).abs() < 1e-12);

@@ -315,7 +315,8 @@ mod tests {
         let d = SimDuration::new(4.0) * 0.5 + SimDuration::new(1.0);
         assert_eq!(d.as_tu(), 3.0);
         assert_eq!(SimDuration::new(6.0) / SimDuration::new(2.0), 3.0);
-        let total: SimDuration = vec![SimDuration::new(1.0), SimDuration::new(2.5)].into_iter().sum();
+        let total: SimDuration =
+            vec![SimDuration::new(1.0), SimDuration::new(2.5)].into_iter().sum();
         assert_eq!(total.as_tu(), 3.5);
     }
 

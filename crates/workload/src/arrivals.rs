@@ -74,13 +74,8 @@ pub const MIN_JOB_SIZE: f64 = 1.0;
 impl ArrivalProcess {
     /// Creates the process; the first batch arrives after one interval.
     pub fn new(config: ArrivalConfig, timing_rng: SimRng, size_rng: SimRng) -> Self {
-        let mut p = ArrivalProcess {
-            config,
-            timing_rng,
-            size_rng,
-            next_job_id: 0,
-            next_at: SimTime::ZERO,
-        };
+        let mut p =
+            ArrivalProcess { config, timing_rng, size_rng, next_job_id: 0, next_at: SimTime::ZERO };
         let gap = p.timing_rng.exponential(p.config.mean_interval);
         p.next_at = SimTime::ZERO + SimDuration::new(gap);
         p
@@ -188,11 +183,9 @@ mod tests {
         let per_batch = n_jobs as f64 / n_batches;
         assert!((per_batch - 3.0).abs() < 0.15, "per-batch {per_batch}");
         // Mean size ≈ 5.
-        let mean_size: f64 = batches
-            .iter()
-            .flat_map(|b| b.jobs.iter().map(|j| j.size_units))
-            .sum::<f64>()
-            / n_jobs as f64;
+        let mean_size: f64 =
+            batches.iter().flat_map(|b| b.jobs.iter().map(|j| j.size_units)).sum::<f64>()
+                / n_jobs as f64;
         assert!((mean_size - 5.0).abs() < 0.05, "mean size {mean_size}");
     }
 
@@ -200,10 +193,7 @@ mod tests {
     fn sizes_respect_floor() {
         let mut p = process(2.0, 3);
         let batches = p.batches_until(SimTime::new(5000.0));
-        assert!(batches
-            .iter()
-            .flat_map(|b| &b.jobs)
-            .all(|j| j.size_units >= MIN_JOB_SIZE));
+        assert!(batches.iter().flat_map(|b| &b.jobs).all(|j| j.size_units >= MIN_JOB_SIZE));
     }
 
     #[test]

@@ -148,19 +148,13 @@ impl PipelineModel {
     /// Total pipeline latency under a per-stage plan (no queueing).
     pub fn pipeline_latency(&self, size_units: f64, plan: &[(u32, u32)]) -> f64 {
         assert_eq!(plan.len(), self.n_stages(), "plan must cover every stage");
-        plan.iter()
-            .enumerate()
-            .map(|(i, &(s, t))| self.stage_latency(i, size_units, s, t))
-            .sum()
+        plan.iter().enumerate().map(|(i, &(s, t))| self.stage_latency(i, size_units, s, t)).sum()
     }
 
     /// Total core·TU under a per-stage plan.
     pub fn pipeline_core_tu(&self, size_units: f64, plan: &[(u32, u32)]) -> f64 {
         assert_eq!(plan.len(), self.n_stages());
-        plan.iter()
-            .enumerate()
-            .map(|(i, &(s, t))| self.stage_core_tu(i, size_units, s, t))
-            .sum()
+        plan.iter().enumerate().map(|(i, &(s, t))| self.stage_core_tu(i, size_units, s, t)).sum()
     }
 
     /// Single-threaded, unsharded pipeline latency — the baseline an

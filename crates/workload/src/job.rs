@@ -92,7 +92,13 @@ mod tests {
 
     #[test]
     fn stage_task_core_math() {
-        let t = StageTask { job: JobId(1), stage: 2, shards: 4, threads: 8, enqueued_at: SimTime::ZERO };
+        let t = StageTask {
+            job: JobId(1),
+            stage: 2,
+            shards: 4,
+            threads: 8,
+            enqueued_at: SimTime::ZERO,
+        };
         assert_eq!(t.cores_per_subtask(), 8);
         assert_eq!(t.total_cores(), 32);
     }

@@ -92,9 +92,7 @@ impl RewardFn {
                     d * (rmax - t * rpenalty)
                 }
             }
-            RewardFn::Plateau { rmax, rpenalty, plateau } => {
-                d * (rmax - t.max(plateau) * rpenalty)
-            }
+            RewardFn::Plateau { rmax, rpenalty, plateau } => d * (rmax - t.max(plateau) * rpenalty),
         }
     }
 
@@ -140,9 +138,7 @@ impl RewardFn {
             RewardFn::Deadline { rmax, rpenalty, deadline } => {
                 Some(if rpenalty > 0.0 { (rmax / rpenalty).min(deadline) } else { deadline })
             }
-            RewardFn::Plateau { rmax, rpenalty, .. } => {
-                (rpenalty > 0.0).then(|| rmax / rpenalty)
-            }
+            RewardFn::Plateau { rmax, rpenalty, .. } => (rpenalty > 0.0).then(|| rmax / rpenalty),
         }
     }
 }
@@ -242,10 +238,7 @@ mod tests {
             RewardFn::Deadline { rmax: 1.0, rpenalty: 0.0, deadline: 1.0 }.name(),
             "deadline"
         );
-        assert_eq!(
-            RewardFn::Plateau { rmax: 1.0, rpenalty: 0.0, plateau: 1.0 }.name(),
-            "plateau"
-        );
+        assert_eq!(RewardFn::Plateau { rmax: 1.0, rpenalty: 0.0, plateau: 1.0 }.name(), "plateau");
     }
 
     proptest! {

@@ -71,10 +71,8 @@ fn main() {
     // 6. Score the calls against the planted truth.
     let called: std::collections::HashSet<(u32, u32, char)> =
         result.variants.iter().map(|v| (v.chrom, v.pos, v.alt_base)).collect();
-    let found = planted
-        .iter()
-        .filter(|v| called.contains(&(v.chrom, v.pos, v.alt_base as char)))
-        .count();
+    let found =
+        planted.iter().filter(|v| called.contains(&(v.chrom, v.pos, v.alt_base as char))).count();
     println!(
         "\nvariants: called {} | recovered {}/{} planted ({:.0}% sensitivity)",
         result.variants.len(),
@@ -83,5 +81,9 @@ fn main() {
         100.0 * found as f64 / planted.len() as f64
     );
     let vcf = scan::genomics::variant::write_vcf(&result.variants);
-    println!("final VCF: {} lines, starts:\n{}", vcf.lines().count(), vcf.lines().take(4).collect::<Vec<_>>().join("\n"));
+    println!(
+        "final VCF: {} lines, starts:\n{}",
+        vcf.lines().count(),
+        vcf.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     // Run a GATK stage task for 3 TU.
     cloud.vm_mut(w1).unwrap().start_task(t(1.0));
     cloud.vm_mut(w1).unwrap().finish_task(t(4.0));
-    println!("t=4.0  task done; private cost so far: {:.0} CU (16 cores x 5 CU x 3 TU)", cloud.total_cost(t(4.0)));
+    println!(
+        "t=4.0  task done; private cost so far: {:.0} CU (16 cores x 5 CU x 3 TU)",
+        cloud.total_cost(t(4.0))
+    );
 
     // Reshape it to 4 cores for the next pipeline stage: boot again.
     let ready2 = cloud.reshape(w1, InstanceSize::new(4).unwrap(), t(4.0)).expect("capacity");
@@ -43,25 +46,44 @@ fn main() {
         cloud.vm_mut(id).unwrap().finish_boot(ready);
         hired += 1;
     }
-    println!("\nt=5.0  private tier saturated with {hired} workers ({} cores in use)", cloud.cores_in_use(TierId(0)));
+    println!(
+        "\nt=5.0  private tier saturated with {hired} workers ({} cores in use)",
+        cloud.cores_in_use(TierId(0))
+    );
 
-    let (pub_vm, _) = cloud.hire(InstanceSize::new(8).unwrap(), t(5.0)).expect("public is unbounded");
-    println!("t=5.0  next hire lands on the public tier: {:?} on {:?}", pub_vm, cloud.vm(pub_vm).unwrap().tier);
+    let (pub_vm, _) =
+        cloud.hire(InstanceSize::new(8).unwrap(), t(5.0)).expect("public is unbounded");
+    println!(
+        "t=5.0  next hire lands on the public tier: {:?} on {:?}",
+        pub_vm,
+        cloud.vm(pub_vm).unwrap().tier
+    );
 
     // Watch the bills diverge: idle private cores are free (depreciation
     // model), the idle public worker bills every TU.
     let c5 = cloud.total_cost(t(5.5));
     let c7 = cloud.total_cost(t(7.5));
     println!("\ncost at t=5.5: {c5:.0} CU; at t=7.5: {c7:.0} CU");
-    println!("  -> +{:.0} CU in 2 TU, all from the idle 8-core public worker (8 x 50 x 2)", c7 - c5);
+    println!(
+        "  -> +{:.0} CU in 2 TU, all from the idle 8-core public worker (8 x 50 x 2)",
+        c7 - c5
+    );
 
     cloud.release(pub_vm, t(7.5));
-    println!("t=7.5  released the public worker; burn rate now {:.0} CU/TU (idle private is free)", {
-        // Burn rate counts hired capacity; with busy-billing the *accrual*
-        // is zero while idle, which total_cost reflects:
-        let c8 = cloud.total_cost(t(8.5));
-        c8 - cloud.total_cost(t(7.5))
-    });
+    println!(
+        "t=7.5  released the public worker; burn rate now {:.0} CU/TU (idle private is free)",
+        {
+            // Burn rate counts hired capacity; with busy-billing the *accrual*
+            // is zero while idle, which total_cost reflects:
+            let c8 = cloud.total_cost(t(8.5));
+            c8 - cloud.total_cost(t(7.5))
+        }
+    );
 
-    println!("\ntotals: {:.0} CU spent, {:.0} core-TU hired, {} workers ever hired", cloud.total_cost(t(8.5)), cloud.total_core_tu(t(8.5)), cloud.hired_total());
+    println!(
+        "\ntotals: {:.0} CU spent, {:.0} core-TU hired, {} workers ever hired",
+        cloud.total_cost(t(8.5)),
+        cloud.total_core_tu(t(8.5)),
+        cloud.hired_total()
+    );
 }

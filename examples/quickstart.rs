@@ -22,7 +22,11 @@ fn main() {
     println!("SCAN quickstart: one 2,000 TU session\n");
     let m = run_session(&cfg, 0);
     println!("jobs submitted            : {}", m.jobs_submitted);
-    println!("pipeline runs completed   : {} ({:.1}%)", m.jobs_completed, 100.0 * m.completion_rate());
+    println!(
+        "pipeline runs completed   : {} ({:.1}%)",
+        m.jobs_completed,
+        100.0 * m.completion_rate()
+    );
     println!("total reward              : {:>12.0} CU", m.total_reward);
     println!("total infrastructure cost : {:>12.0} CU", m.total_cost);
     println!("mean profit per run       : {:>12.1} CU", m.profit_per_run);
@@ -37,7 +41,19 @@ fn main() {
     // mean ± one standard deviation.
     println!("\nReplicated 5x (mean ± σ):");
     let r = run_replicated(&cfg, 5);
-    println!("profit per run  : {:>8.1} ± {:.1} CU", r.profit_per_run.mean(), r.profit_per_run.stddev());
-    println!("reward-to-cost  : {:>8.2} ± {:.2}", r.reward_to_cost.mean(), r.reward_to_cost.stddev());
-    println!("mean latency    : {:>8.2} ± {:.2} TU", r.mean_latency.mean(), r.mean_latency.stddev());
+    println!(
+        "profit per run  : {:>8.1} ± {:.1} CU",
+        r.profit_per_run.mean(),
+        r.profit_per_run.stddev()
+    );
+    println!(
+        "reward-to-cost  : {:>8.2} ± {:.2}",
+        r.reward_to_cost.mean(),
+        r.reward_to_cost.stddev()
+    );
+    println!(
+        "mean latency    : {:>8.2} ± {:.2} TU",
+        r.mean_latency.mean(),
+        r.mean_latency.stddev()
+    );
 }

@@ -14,10 +14,7 @@ use scan::sched::scaling::ScalingPolicy;
 fn main() {
     println!("Mean profit per pipeline run (CU) vs load, per scaling policy");
     println!("(time-based reward, public cores at 50 CU/TU, best-constant plans)\n");
-    println!(
-        "{:>9} | {:>12} | {:>12} | {:>12}",
-        "interval", "predictive", "always", "never"
-    );
+    println!("{:>9} | {:>12} | {:>12} | {:>12}", "interval", "predictive", "always", "never");
     println!("{}", "-".repeat(56));
 
     for i in 0..=5 {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass before merging.
+#
+#   ./scripts/ci.sh          full gate (build, tests, clippy, fmt)
+#   ./scripts/ci.sh quick    skip the release build
+#
+# The container is offline; all third-party crates resolve to the in-repo
+# shims under compat/, so `cargo` never touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick="${1:-}"
+
+if [[ "$quick" != "quick" ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1, root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI gate passed."

@@ -36,10 +36,8 @@ fn sequencing_to_vcf_recovers_planted_truth() {
     let result = GatkLikePipeline::default().run(&reference, aligned_shards);
     let called: std::collections::HashSet<(u32, u32, char)> =
         result.variants.iter().map(|v| (v.chrom, v.pos, v.alt_base)).collect();
-    let found = planted
-        .iter()
-        .filter(|v| called.contains(&(v.chrom, v.pos, v.alt_base as char)))
-        .count();
+    let found =
+        planted.iter().filter(|v| called.contains(&(v.chrom, v.pos, v.alt_base as char))).count();
     assert!(found >= 13, "recovered {found}/15 planted variants");
 
     // The VCF output round-trips as text.
@@ -75,7 +73,9 @@ fn per_shard_vcfs_merge_like_variants_to_vcf() {
     // Depth in the merge is the sum over shards.
     let whole = caller.call(&reference, &alignments);
     for v in &whole {
-        if let Some(m) = merged.iter().find(|m| (m.chrom, m.pos, m.alt_base) == (v.chrom, v.pos, v.alt_base)) {
+        if let Some(m) =
+            merged.iter().find(|m| (m.chrom, m.pos, m.alt_base) == (v.chrom, v.pos, v.alt_base))
+        {
             assert!(m.depth >= v.depth.min(2), "merged depth must reflect shard evidence");
         }
     }

@@ -82,12 +82,6 @@ fn fig5_ratio_rises_then_falls() {
         assert_eq!(plan_cs, cs);
         ratios.push(run_replicated(&cfg, 2).reward_to_cost.mean());
     }
-    assert!(
-        ratios[1] > ratios[0],
-        "mid-size plan must beat serial: {ratios:?}"
-    );
-    assert!(
-        ratios[1] > ratios[2],
-        "over-provisioned plan must fall off the peak: {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0], "mid-size plan must beat serial: {ratios:?}");
+    assert!(ratios[1] > ratios[2], "over-provisioned plan must fall off the peak: {ratios:?}");
 }
