@@ -22,12 +22,21 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Number of worker threads to use for `n` items.
+/// Number of worker threads to use for `n` items. Like real rayon's
+/// global pool, `RAYON_NUM_THREADS` overrides the machine's parallelism
+/// (`RAYON_NUM_THREADS=1` forces the sequential path — the workspace's
+/// determinism tests and docs rely on this knob existing).
 fn thread_count(n: usize) -> usize {
     if n <= 1 {
         return 1;
     }
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n)
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    let threads = configured
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    threads.min(n)
 }
 
 /// An owned, not-yet-consumed parallel iterator over `items`.

@@ -1,0 +1,42 @@
+//! `platform::dispatch` hot path: the idle-pool lookup pair
+//! (`take_idle` + put-back) and a full `assign` (queue pop, wait
+//! accounting, ground-truth execution model, noise draw, worker state
+//! flip, completion scheduling).
+//!
+//! Regressions here used to be visible only as whole-session time; this
+//! bench localises them to the dispatch subsystem. The harness restores
+//! its state after every operation, so each iteration times the same
+//! work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scan_platform::platform::bench_support::PlatformHarness;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+
+    // Pool lookup pair on a realistically sized idle pool.
+    group.bench_function("take_idle_put_back/idle=64", |b| {
+        let mut h = PlatformHarness::new(64, 0, 16);
+        b.iter(|| black_box(h.take_idle_cycle()))
+    });
+
+    // Full assign at increasing queue backlogs (assign itself is O(1) in
+    // queue length — a flat series here is the regression guard).
+    for &queued in &[16usize, 256] {
+        group.bench_function(format!("assign/queued={queued}"), |b| {
+            let mut h = PlatformHarness::new(64, 0, queued);
+            b.iter(|| black_box(h.assign_cycle()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_dispatch
+}
+criterion_main!(benches);

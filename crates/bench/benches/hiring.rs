@@ -1,0 +1,43 @@
+//! `platform::hiring` hot path: one priced scaling decision — filling
+//! the Eq. 1 queue view from a stalled class (distinct-job dedup + per-
+//! job ETT estimates into the reused scratch buffer), gathering the
+//! scalar inputs (projected-wait scan over the busy set), and running
+//! `ScalingPolicy::decide_priced`.
+//!
+//! The queue-view fill is the O(min(queue, 256)) part and the busy-set
+//! scan the O(busy) part, so both axes are swept.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scan_platform::platform::bench_support::PlatformHarness;
+
+fn bench_hiring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hiring");
+
+    // Queue-view fill dominates: sweep the backlog depth (256 is the
+    // MAX_QUEUE_VIEW cap; 512 must cost the same as 256).
+    for &queued in &[4usize, 64, 256, 512] {
+        group.bench_function(format!("decide/queued={queued}"), |b| {
+            let mut h = PlatformHarness::new(0, 32, queued);
+            b.iter(|| black_box(h.price_decision()))
+        });
+    }
+
+    // Projected-wait scan dominates: sweep the busy-worker count.
+    for &busy in &[8usize, 128] {
+        group.bench_function(format!("decide/busy={busy}"), |b| {
+            let mut h = PlatformHarness::new(0, busy, 64);
+            b.iter(|| black_box(h.price_decision()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_hiring
+}
+criterion_main!(benches);

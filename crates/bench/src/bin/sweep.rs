@@ -10,20 +10,31 @@
 //! additionally sweeps the saturated-load intervals where the scaling
 //! policies separate (see fig4's axis discussion).
 //!
+//! Every session carries a [`DecisionStats`] observer, so the per-cell
+//! table also reports *why* each cell's economics came out the way it did:
+//! hire vs wait scaling-decision counts and the sampled queue-depth
+//! mean/peak, merged over the cell's repetitions (deterministically — the
+//! numbers are identical under `RAYON_NUM_THREADS=1` and N threads).
+//!
 //! The summary reports the paper's two headline comparisons:
 //! * adaptive/long-term/greedy allocation vs the best-constant baseline;
 //! * predictive scaling vs the always-/never-scale baselines.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin sweep [--full] [--calibrated] [--trace <path>]`
+//! Usage: `cargo run --release -p scan-bench --bin sweep
+//!         [--full] [--calibrated] [--trace <path>] [--cell-trace <path>]`
 //!
-//! `--trace <path>` additionally dumps the typed JSONL event trace of one
-//! representative session (the grid's first cell).
+//! `--trace <path>` dumps the typed JSONL event trace of one
+//! representative session (the grid's first cell); `--cell-trace <path>`
+//! writes one JSONL line per grid cell (parameters + the merged
+//! [`DecisionStats`] payload — shape documented in `docs/TRACE_SCHEMA.md`).
 
-use scan_bench::{dump_trace, trace_path_from_args, EXPERIMENT_SEED};
+use scan_bench::{dump_trace, path_flag_from_args, trace_path_from_args, EXPERIMENT_SEED};
 use scan_platform::config::{ParameterGrid, ScanConfig};
-use scan_platform::sweep::{sweep_grid, CellResult};
+use scan_platform::observers::{DecisionStats, DecisionStatsFactory};
+use scan_platform::sweep::{sweep_grid_with, ObservedCell};
 use scan_sched::alloc::AllocationPolicy;
 use scan_sched::scaling::ScalingPolicy;
+use std::fmt::Write as _;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -54,17 +65,33 @@ fn main() {
         dump_trace(&base, &path);
     }
 
-    let results = sweep_grid(&base, &cells, reps);
+    let results = sweep_grid_with(&base, &cells, reps, &DecisionStatsFactory);
 
-    // Full per-cell table.
+    if let Some(path) = path_flag_from_args("cell-trace") {
+        dump_cell_trace(&results, &path);
+    }
+
+    // Full per-cell table: the cell's economics, then the decision/queue
+    // statistics explaining them (counts are totals over the repetitions).
     println!(
-        "\n{:>20} {:>13} {:>5} {:>17} {:>5} | {:>10} {:>7} {:>6}",
-        "allocation", "scaling", "int", "reward", "cost", "profit/run", "r/c", "lat"
+        "\n{:>20} {:>13} {:>5} {:>17} {:>5} | {:>10} {:>7} {:>6} | {:>6} {:>6} {:>6} {:>5}",
+        "allocation",
+        "scaling",
+        "int",
+        "reward",
+        "cost",
+        "profit/run",
+        "r/c",
+        "lat",
+        "hire",
+        "wait",
+        "qmean",
+        "qpeak"
     );
-    println!("{}", "-".repeat(95));
+    println!("{}", "-".repeat(123));
     for r in &results {
         println!(
-            "{:>20} {:>13} {:>5.1} {:>17} {:>5.0} | {:>10.1} {:>7.2} {:>6.1}",
+            "{:>20} {:>13} {:>5.1} {:>17} {:>5.0} | {:>10.1} {:>7.2} {:>6.1} | {:>6} {:>6} {:>6.2} {:>5}",
             r.params.allocation.name(),
             r.params.scaling.name(),
             r.params.mean_interval,
@@ -73,15 +100,43 @@ fn main() {
             r.metrics.profit_per_run.mean(),
             r.metrics.reward_to_cost.mean(),
             r.metrics.mean_latency.mean(),
+            r.stats.hire_decisions(),
+            r.stats.wait_decisions(),
+            r.stats.mean_depth(),
+            r.stats.peak_depth(),
         );
     }
 
     summarise(&results);
 }
 
+/// Writes one JSONL line per grid cell: the cell's parameters plus the
+/// merged [`DecisionStats`] payload.
+fn dump_cell_trace(results: &[ObservedCell<DecisionStats>], path: &std::path::Path) {
+    let mut out = String::new();
+    for r in results {
+        let _ = write!(
+            out,
+            "{{\"allocation\":\"{}\",\"scaling\":\"{}\",\"interval\":{},\
+             \"reward\":\"{}\",\"public_cost\":{},\"stats\":",
+            r.params.allocation.name(),
+            r.params.scaling.name(),
+            r.params.mean_interval,
+            r.params.reward.name(),
+            r.params.public_core_cost,
+        );
+        r.stats.write_json(&mut out);
+        out.push_str("}\n");
+    }
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("cell-trace: wrote {} ({} cells)", path.display(), results.len()),
+        Err(e) => eprintln!("cell-trace: failed to write {}: {e}", path.display()),
+    }
+}
+
 /// The paper's headline claims, checked over matched cells.
-fn summarise(results: &[CellResult]) {
-    let find = |allocation: AllocationPolicy, scaling: ScalingPolicy, r: &CellResult| {
+fn summarise(results: &[ObservedCell<DecisionStats>]) {
+    let find = |allocation: AllocationPolicy, scaling: ScalingPolicy, r: &ObservedCell<_>| {
         results.iter().find(|c| {
             c.params.allocation == allocation
                 && c.params.scaling == scaling

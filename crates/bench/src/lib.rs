@@ -47,18 +47,26 @@ pub fn pm(stats: &scan_sim::stats::OnlineStats) -> String {
     format!("{:9.2} ± {:7.2}", stats.mean(), stats.stddev())
 }
 
-/// Parses a `--trace <path>` (or `--trace=<path>`) flag from argv.
-pub fn trace_path_from_args() -> Option<PathBuf> {
+/// Parses a `--<flag> <path>` (or `--<flag>=<path>`) option from argv.
+/// `flag` is given without the leading dashes.
+pub fn path_flag_from_args(flag: &str) -> Option<PathBuf> {
+    let spaced = format!("--{flag}");
+    let joined = format!("--{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--trace" {
+        if a == spaced {
             return args.next().map(PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--trace=") {
+        if let Some(p) = a.strip_prefix(&joined) {
             return Some(PathBuf::from(p));
         }
     }
     None
+}
+
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag from argv.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    path_flag_from_args("trace")
 }
 
 /// Dumps the typed JSONL trace of one representative session (repetition

@@ -1,7 +1,7 @@
 //! The worker-VM state machine.
 //!
 //! A VM is hired from a tier with an instance shape, boots for
-//! [`BOOT_PENALTY`] (the paper's 30 s = 0.5 TU), serves tasks, and can be
+//! [`BOOT_PENALTY_TU`] (the paper's 30 s = 0.5 TU), serves tasks, and can be
 //! *reshaped* to a different thread count — "CELAR would need to shut it
 //! down, adjust the number of VCPUs, and restart it for its new role"
 //! (§IV-B) — paying the same penalty again.

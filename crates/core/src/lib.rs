@@ -14,8 +14,12 @@
 //!   advancement → reward, exactly the loop of §III-A.2.
 //! * [`metrics`] — per-session metrics (profit per run, reward-to-cost,
 //!   latency, utilisation) and replicated mean ± σ aggregates.
+//! * [`observers`] — domain-level trace observers: the [`DecisionStats`]
+//!   counting observer folding scaling decisions, queue depths and tier
+//!   settlements into per-cell statistics.
 //! * [`session`] — one seeded simulation run; [`sweep`] — rayon-parallel
-//!   replication and parameter grids.
+//!   replication and parameter grids, with per-session observers built
+//!   through the `Send`-capable factory bridge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +27,7 @@
 pub mod broker;
 pub mod config;
 pub mod metrics;
+pub mod observers;
 pub mod platform;
 pub mod session;
 pub mod sweep;
@@ -30,6 +35,9 @@ pub mod sweep;
 pub use broker::DataBroker;
 pub use config::{FixedParams, ParameterGrid, ScanConfig, VariableParams};
 pub use metrics::{ReplicatedMetrics, SessionMetrics};
+pub use observers::{DecisionStats, DecisionStatsFactory};
 pub use platform::Platform;
 pub use session::run_session;
-pub use sweep::{run_replicated, sweep_grid, CellResult};
+pub use sweep::{
+    run_replicated, run_replicated_with, sweep_grid, sweep_grid_with, CellResult, ObservedCell,
+};

@@ -1,0 +1,144 @@
+//! Bench-only harness over the platform's dispatch and hiring hot paths.
+//!
+//! The criterion benches in `crates/bench` need to time `take_idle` /
+//! `assign` (the dispatch inner loop) and `fill_queue_view` + the priced
+//! scaling decision (the hiring path) *in isolation*, on a platform
+//! frozen mid-run — but those methods and the fields they touch are
+//! platform-internal by design. This module is the narrow, `doc(hidden)`
+//! window the benches go through: it builds a mid-run state (idle pool,
+//! busy set, queued jobs) and exposes one iterable operation per hot
+//! path, each of which restores the state it perturbs so criterion can
+//! call it millions of times.
+//!
+//! Not a public API: shapes and semantics here follow the benches, not
+//! the platform's contracts.
+
+use super::events::{JobRun, SubtaskRef};
+use super::Platform;
+use crate::config::{ScanConfig, VariableParams};
+use scan_cloud::instance::InstanceSize;
+use scan_cloud::vm::boot_penalty;
+use scan_sched::plan::ExecutionPlan;
+use scan_sched::queue::TaskClass;
+use scan_sched::scaling::{ScalingContext, ScalingPolicy};
+use scan_sim::{Calendar, SimDuration, SimTime};
+use scan_workload::job::{Job, JobId};
+
+/// Worker shape every harness task uses (a valid instance size).
+const CORES: u32 = 4;
+
+/// A platform frozen in a mid-run state, exposing one repeatable
+/// operation per benched hot path.
+pub struct PlatformHarness {
+    platform: Platform,
+    cal: Calendar<super::Event>,
+    now: SimTime,
+    class: TaskClass,
+}
+
+impl PlatformHarness {
+    /// Builds a platform with `idle_workers` booted 4-core workers in the
+    /// idle pool, `busy_workers` running tasks (populating the projected-
+    /// wait scan), and `queued_jobs` distinct single-subtask jobs waiting
+    /// in one task class.
+    pub fn new(idle_workers: usize, busy_workers: usize, queued_jobs: usize) -> Self {
+        let mut cfg = ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.5), 42);
+        cfg.fixed.sim_time_tu = 1.0;
+        // Room for the harness workers on the private tier regardless of
+        // the configured counts.
+        cfg.fixed.private_capacity_cores =
+            (CORES as usize * (idle_workers + busy_workers + 8)) as u32;
+        let mut p = Platform::new(cfg, 0);
+        let now = SimTime::new(1.0);
+        let class = TaskClass { stage: 0, cores: CORES };
+        let size = InstanceSize::new(CORES).expect("harness shape is an instance size");
+
+        for _ in 0..idle_workers {
+            let (vm, ready_at) = p
+                .provider
+                .hire_on(p.private_tier, size, SimTime::ZERO)
+                .expect("private capacity sized above");
+            p.provider.vm_mut(vm).expect("just hired").finish_boot(ready_at);
+            p.idle_by_size.entry(CORES).or_default().insert(vm);
+        }
+        for i in 0..busy_workers {
+            let (vm, ready_at) =
+                p.provider.hire_on(p.private_tier, size, SimTime::ZERO).expect("capacity");
+            let worker = p.provider.vm_mut(vm).expect("just hired");
+            worker.finish_boot(ready_at);
+            worker.start_task(ready_at);
+            // Staggered finish times so the projected-wait scan does real
+            // comparisons instead of hitting one constant.
+            p.busy_until.insert(vm, now + SimDuration::new(1.0 + 0.01 * i as f64));
+        }
+        let n_stages = p.broker.learned_model().n_stages();
+        for i in 0..queued_jobs {
+            let id = JobId(1_000_000 + i as u64);
+            let job = Job::new(id, 5.0, SimTime::ZERO);
+            // One 4-core shard per stage — shaped like `class` at stage 0.
+            let plan = ExecutionPlan::new(vec![(1, CORES); n_stages]);
+            p.jobs.insert(id, JobRun { job, plan, stage: 0, outstanding: 1 });
+            p.queues.push(class, SubtaskRef { job: id }, SimTime::ZERO);
+        }
+
+        PlatformHarness { platform: p, cal: Calendar::new(), now, class }
+    }
+
+    /// One `take_idle` + put-back cycle: the dispatch fast path's pool
+    /// lookup pair. Returns the VM number so callers can black-box it.
+    pub fn take_idle_cycle(&mut self) -> u64 {
+        let vm = self.platform.take_idle(CORES).expect("harness keeps idle workers");
+        self.platform.idle_by_size.get_mut(&CORES).expect("pool exists").insert(vm);
+        vm.0
+    }
+
+    /// One full `assign`: pops the queue head onto an idle worker and
+    /// schedules its completion, then restores the state (worker back to
+    /// idle, subtask re-queued, calendar drained) so the next iteration
+    /// sees the same picture. Returns the assigned VM number.
+    pub fn assign_cycle(&mut self) -> u64 {
+        let head = self
+            .platform
+            .queues
+            .get(self.class)
+            .and_then(|q| q.iter().next())
+            .map(|e| e.item.job)
+            .expect("harness keeps queued jobs");
+        let vm = self.platform.take_idle(CORES).expect("idle worker");
+        self.platform.assign(self.class, vm, self.now, &mut self.cal);
+        // Undo: the assign popped `head`, scheduled one SubtaskDone and
+        // marked the worker busy. All harness jobs are identical, so
+        // re-queueing the popped subtask at the tail restores an
+        // equivalent state.
+        self.cal.clear();
+        self.platform.busy_until.remove(&vm);
+        let worker = self.platform.provider.vm_mut(vm).expect("assigned VM");
+        worker.finish_task(self.now);
+        self.platform.idle_by_size.entry(CORES).or_default().insert(vm);
+        self.platform.queues.push(self.class, SubtaskRef { job: head }, self.now);
+        vm.0
+    }
+
+    /// One hiring-path pricing pass: fills the Eq. 1 queue view from the
+    /// stalled class, gathers the scalar inputs, and runs the priced
+    /// decision. Mutates nothing but the platform's scratch buffers.
+    /// Returns the number of queued jobs the view saw (black-box fodder).
+    pub fn price_decision(&mut self) -> usize {
+        let p = &mut self.platform;
+        p.fill_queue_view(self.class, 0, self.now);
+        let inputs = p.scaling_inputs(self.class, self.now);
+        let ctx = ScalingContext {
+            private_has_capacity: inputs.private_has_capacity,
+            queued: &p.scaling_scratch,
+            expected_wait_tu: inputs.expected_wait_tu,
+            public_price_per_core_tu: p.cfg.variable.public_core_cost,
+            stage: self.class.stage as u32,
+            cores_needed: self.class.cores,
+            boot_penalty_tu: boot_penalty().as_tu(),
+            expected_task_tu: inputs.expected_task_tu,
+            reward: p.reward,
+        };
+        let (_decision, _costs) = p.cfg.variable.scaling.decide_priced(&ctx);
+        ctx.queued.len()
+    }
+}

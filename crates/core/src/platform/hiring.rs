@@ -14,10 +14,10 @@ use scan_sim::{Calendar, ScalingChoice, SimTime, TraceEvent};
 /// The scalar inputs of one scaling decision (everything except the
 /// queue view, which lives in the platform's scratch buffer).
 #[derive(Debug, Clone, Copy)]
-struct ScalingInputs {
-    private_has_capacity: bool,
-    expected_wait_tu: f64,
-    expected_task_tu: f64,
+pub(super) struct ScalingInputs {
+    pub(super) private_has_capacity: bool,
+    pub(super) expected_wait_tu: f64,
+    pub(super) expected_task_tu: f64,
 }
 
 impl Platform {
@@ -144,7 +144,7 @@ impl Platform {
     /// Fills the scratch buffer with Eq. 1's queue view: distinct jobs
     /// waiting in `class`, less the first `skip` entries already covered
     /// by in-flight hires. Reuses the platform's scratch allocations.
-    fn fill_queue_view(&mut self, class: TaskClass, skip: usize, now: SimTime) {
+    pub(super) fn fill_queue_view(&mut self, class: TaskClass, skip: usize, now: SimTime) {
         self.scaling_scratch.clear();
         self.scaling_seen.clear();
         if let Some(q) = self.queues.get(class) {
@@ -163,7 +163,7 @@ impl Platform {
     }
 
     /// The scalar half of the scaling context for `class`.
-    fn scaling_inputs(&self, class: TaskClass, now: SimTime) -> ScalingInputs {
+    pub(super) fn scaling_inputs(&self, class: TaskClass, now: SimTime) -> ScalingInputs {
         // Projected wait: the soonest same-shape worker to free up or
         // finish booting; a long sentinel when none exists at all.
         let mut expected_wait = f64::INFINITY;

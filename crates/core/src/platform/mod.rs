@@ -6,30 +6,33 @@
 //! 1. **Arrival** — a batch of jobs lands; the allocation policy picks
 //!    each job's execution plan, the broker registers and shards its
 //!    dataset, and the stage-1 subtasks join their class queues
-//!    ([`admission`]).
+//!    (`admission`).
 //! 2. **Dispatch** — idle workers of the right shape take queue heads
 //!    (FIFO). A stalled class triggers the horizontal-scaling decision:
 //!    use private capacity, hire public (Eq. 1 delay cost vs hire cost
 //!    under the predictive policy), reshape an idle worker (when the
-//!    heterogeneous configuration allows), or wait ([`dispatch`],
-//!    [`hiring`]).
+//!    heterogeneous configuration allows), or wait (`dispatch`,
+//!    `hiring`).
 //! 3. **SubtaskDone** — the worker idles; when a stage's last shard
 //!    finishes, the job advances (or completes, earning its reward).
 //! 4. **IdleSweep** — workers idle past the timeout are released, so cost
-//!    tracks load ([`lifecycle`]).
+//!    tracks load (`lifecycle`).
 //! 5. **Replan** — long-term policies re-optimise; the adaptive policy
 //!    additionally refreshes the knowledge-base-learned stage models from
 //!    live task logs.
 //!
-//! Every step is narrated to the sim-trace layer as [`TraceEvent`]s, and
-//! the session's [`SessionMetrics`] are *produced from that stream* by
-//! the [`MetricsAggregator`] observer ([`accounting`]) — the platform
+//! Every step is narrated to the sim-trace layer as
+//! [`TraceEvent`](scan_sim::TraceEvent)s, and the session's
+//! [`SessionMetrics`] are *produced from that stream* by
+//! the [`MetricsAggregator`] observer (`accounting`) — the platform
 //! itself keeps no metric counters beyond what its policies need. Extra
 //! observers (ring buffers, JSONL writers) attach through
 //! [`Platform::add_observer`].
 
 mod accounting;
 mod admission;
+#[doc(hidden)]
+pub mod bench_support;
 mod dispatch;
 mod events;
 mod hiring;

@@ -3,7 +3,7 @@
 use crate::config::ScanConfig;
 use crate::metrics::SessionMetrics;
 use crate::platform::Platform;
-use scan_sim::{JsonlWriter, ObserverHandle};
+use scan_sim::{JsonlWriter, Observer, ObserverHandle};
 use std::cell::RefCell;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
@@ -27,6 +27,29 @@ pub fn run_session_observed(
         platform.add_observer(sink);
     }
     platform.run()
+}
+
+/// Runs one repetition with a caller-built observer attached, returning
+/// the observer alongside the metrics once the run is over.
+///
+/// This is the single-session half of the parallel-sweep observer story:
+/// the caller (e.g. `sweep::run_replicated_with`) builds the observer
+/// *inside* the worker task, this function threads it through the
+/// session's `Rc<RefCell<_>>` sink plumbing, and hands back sole
+/// ownership afterwards so a `Send` summary can cross back to the
+/// coordinating thread.
+pub fn run_session_with<O: Observer + 'static>(
+    cfg: &ScanConfig,
+    repetition: u64,
+    observer: O,
+) -> (SessionMetrics, O) {
+    let sink = Rc::new(RefCell::new(observer));
+    let metrics = run_session_observed(cfg, repetition, vec![sink.clone()]);
+    // The platform (and every tracer clone) is dropped once the run
+    // returns, so the handle is unique again.
+    let observer =
+        Rc::try_unwrap(sink).ok().expect("observer uniquely owned after the run").into_inner();
+    (metrics, observer)
 }
 
 /// Runs one repetition streaming its full typed trace to `path` as JSON

@@ -4,20 +4,66 @@
 //! simulation (its RNG streams derive from `(seed, repetition)`), so the
 //! rayon fan-out provably returns the same results as a sequential loop —
 //! the data-parallel contract the workspace's HPC guides are built on.
+//!
+//! # Observing parallel sessions
+//!
+//! Session observers are `Rc<RefCell<_>>` sinks and cannot cross the
+//! rayon task boundary, so the sweep uses the factory/summary bridge from
+//! `scan_sim::trace`: [`run_replicated_with`] and [`sweep_grid_with`]
+//! take an [`ObserverFactory`] (`Sync`, shared by reference), each worker
+//! task builds its own observer via [`ObserverFactory::build`], and only
+//! the `Send` summary returns. Summaries are merged with [`Merge::merge`]
+//! strictly in repetition order — *not* in task-completion order — so the
+//! statistics a sweep reports are bit-identical whether rayon ran on one
+//! thread or N (`RAYON_NUM_THREADS=1` reproduces the sequential fold
+//! exactly; the determinism tests below assert this).
 
 use crate::config::{ScanConfig, VariableParams};
 use crate::metrics::{ReplicatedMetrics, SessionMetrics};
-use crate::session::run_session;
+use crate::session::run_session_with;
 use rayon::prelude::*;
+use scan_sim::{Merge, NullObserverFactory, ObserverFactory};
 use serde::{Deserialize, Serialize};
 
 /// Runs `repetitions` seeded repetitions of one configuration in parallel
 /// and aggregates mean ± σ.
 pub fn run_replicated(cfg: &ScanConfig, repetitions: u64) -> ReplicatedMetrics {
+    run_replicated_with(cfg, repetitions, &NullObserverFactory).0
+}
+
+/// [`run_replicated`], with one factory-built observer per session.
+///
+/// Returns the replicated metrics plus the per-session summaries merged
+/// in repetition order. The factory's `session` ordinal is the
+/// repetition number.
+pub fn run_replicated_with<F: ObserverFactory>(
+    cfg: &ScanConfig,
+    repetitions: u64,
+    factory: &F,
+) -> (ReplicatedMetrics, F::Summary)
+where
+    F::Summary: Merge,
+{
     assert!(repetitions >= 1);
-    let sessions: Vec<SessionMetrics> =
-        (0..repetitions).into_par_iter().map(|rep| run_session(cfg, rep)).collect();
-    ReplicatedMetrics::from_sessions(sessions)
+    let observed: Vec<(SessionMetrics, F::Summary)> = (0..repetitions)
+        .into_par_iter()
+        .map(|rep| {
+            let (metrics, obs) = run_session_with(cfg, rep, factory.build(rep));
+            (metrics, factory.finish(obs))
+        })
+        .collect();
+    let mut sessions = Vec::with_capacity(observed.len());
+    let mut merged: Option<F::Summary> = None;
+    // Deterministic fold: `collect` returned repetition order, merge in
+    // that order regardless of which thread ran what.
+    for (metrics, summary) in observed {
+        sessions.push(metrics);
+        match merged.as_mut() {
+            None => merged = Some(summary),
+            Some(m) => m.merge(summary),
+        }
+    }
+    (ReplicatedMetrics::from_sessions(sessions), merged.expect("repetitions >= 1"))
 }
 
 /// One sweep cell's outcome.
@@ -29,6 +75,17 @@ pub struct CellResult {
     pub metrics: ReplicatedMetrics,
 }
 
+/// One sweep cell's outcome with its merged observer summary.
+#[derive(Debug, Clone)]
+pub struct ObservedCell<S> {
+    /// The cell's variable parameters.
+    pub params: VariableParams,
+    /// Replicated metrics for the cell.
+    pub metrics: ReplicatedMetrics,
+    /// The cell's observer summaries, merged in repetition order.
+    pub stats: S,
+}
+
 /// Sweeps a list of cells, each replicated, with the whole
 /// `(cell × repetition)` space scheduled onto one rayon pool.
 pub fn sweep_grid(
@@ -36,31 +93,66 @@ pub fn sweep_grid(
     cells: &[VariableParams],
     repetitions: u64,
 ) -> Vec<CellResult> {
+    sweep_grid_with(base, cells, repetitions, &NullObserverFactory)
+        .into_iter()
+        .map(|cell| CellResult { params: cell.params, metrics: cell.metrics })
+        .collect()
+}
+
+/// [`sweep_grid`], with one factory-built observer per session.
+///
+/// Every `(cell, repetition)` session gets its own observer (built inside
+/// the rayon task with the flat session ordinal, cell-major); summaries
+/// are merged per cell in repetition order, so the per-cell statistics
+/// are independent of rayon's thread count and scheduling.
+pub fn sweep_grid_with<F: ObserverFactory>(
+    base: &ScanConfig,
+    cells: &[VariableParams],
+    repetitions: u64,
+    factory: &F,
+) -> Vec<ObservedCell<F::Summary>>
+where
+    F::Summary: Merge,
+{
     assert!(repetitions >= 1);
     // Flatten so rayon load-balances across the full space (cells differ
     // wildly in event counts: heavy-load never-scale cells are cheap,
     // always-scale cells are not).
-    let flat: Vec<(usize, u64)> =
-        (0..cells.len()).flat_map(|c| (0..repetitions).map(move |r| (c, r))).collect();
-    let sessions: Vec<(usize, SessionMetrics)> = flat
+    let flat: Vec<(u64, usize, u64)> = (0..cells.len())
+        .flat_map(|c| (0..repetitions).map(move |r| (c, r)))
+        .enumerate()
+        .map(|(ordinal, (c, r))| (ordinal as u64, c, r))
+        .collect();
+    let observed: Vec<(usize, SessionMetrics, F::Summary)> = flat
         .into_par_iter()
-        .map(|(c, rep)| {
+        .map(|(ordinal, c, rep)| {
             let mut cfg = base.clone();
             cfg.variable = cells[c];
-            (c, run_session(&cfg, rep))
+            let (metrics, obs) = run_session_with(&cfg, rep, factory.build(ordinal));
+            (c, metrics, factory.finish(obs))
         })
         .collect();
 
-    let mut grouped: Vec<Vec<SessionMetrics>> = vec![Vec::new(); cells.len()];
-    for (c, m) in sessions {
-        grouped[c].push(m);
+    let mut grouped: Vec<(Vec<SessionMetrics>, Option<F::Summary>)> = Vec::new();
+    grouped.resize_with(cells.len(), || (Vec::new(), None));
+    // `collect` preserved flat (cell-major, repetition-minor) order, so
+    // this sequential pass merges each cell's summaries in repetition
+    // order — the deterministic aggregation step.
+    for (c, metrics, summary) in observed {
+        let (sessions, merged) = &mut grouped[c];
+        sessions.push(metrics);
+        match merged.as_mut() {
+            None => *merged = Some(summary),
+            Some(m) => m.merge(summary),
+        }
     }
     cells
         .iter()
         .zip(grouped)
-        .map(|(&params, sessions)| CellResult {
+        .map(|(&params, (sessions, merged))| ObservedCell {
             params,
             metrics: ReplicatedMetrics::from_sessions(sessions),
+            stats: merged.expect("repetitions >= 1"),
         })
         .collect()
 }
@@ -69,6 +161,8 @@ pub fn sweep_grid(
 mod tests {
     use super::*;
     use crate::config::ScanConfig;
+    use crate::observers::{DecisionStats, DecisionStatsFactory};
+    use crate::session::run_session;
     use scan_sched::scaling::ScalingPolicy;
 
     fn base() -> ScanConfig {
@@ -103,5 +197,72 @@ mod tests {
         assert!((results[0].params.mean_interval - 2.2).abs() < 1e-12);
         assert!((results[1].params.mean_interval - 2.8).abs() < 1e-12);
         assert_eq!(results[0].metrics.n(), 2);
+    }
+
+    /// The tentpole determinism guarantee: an observed parallel sweep
+    /// reports per-cell statistics bit-identical to a purely sequential
+    /// (one-thread) evaluation of the same `(cell × repetition)` space,
+    /// for a fixed seed.
+    #[test]
+    fn observed_sweep_is_thread_count_invariant() {
+        // Load the cells enough that real scaling decisions happen.
+        let mut cfg = base();
+        cfg.fixed.sim_time_tu = 150.0;
+        let cells: Vec<VariableParams> = [0.9, 2.5]
+            .iter()
+            .map(|&i| VariableParams::fig4(ScalingPolicy::Predictive, i))
+            .collect();
+        let reps = 3;
+
+        // Parallel run: rayon schedules the 6 sessions however it likes.
+        let par = sweep_grid_with(&cfg, &cells, reps, &DecisionStatsFactory);
+
+        // Sequential reference: the same space on one thread, merged in
+        // the same repetition order.
+        let seq: Vec<(Vec<SessionMetrics>, DecisionStats)> = cells
+            .iter()
+            .map(|&cell| {
+                let mut c = cfg.clone();
+                c.variable = cell;
+                let mut sessions = Vec::new();
+                let mut merged: Option<DecisionStats> = None;
+                for rep in 0..reps {
+                    let (m, s) = run_session_with(&c, rep, DecisionStats::new());
+                    sessions.push(m);
+                    match merged.as_mut() {
+                        None => merged = Some(s),
+                        Some(acc) => acc.merge(s),
+                    }
+                }
+                (sessions, merged.unwrap())
+            })
+            .collect();
+
+        assert_eq!(par.len(), seq.len());
+        let mut saw_decisions = false;
+        for (cell, (seq_sessions, seq_stats)) in par.iter().zip(&seq) {
+            assert_eq!(cell.metrics.sessions, *seq_sessions, "metrics must not depend on threads");
+            assert_eq!(cell.stats, *seq_stats, "stats must not depend on threads");
+            saw_decisions |= cell.stats.total_decisions() > 0;
+        }
+        assert!(saw_decisions, "the loaded cell must exercise the decision counters");
+    }
+
+    #[test]
+    fn replicated_with_merges_in_rep_order() {
+        let cfg = base();
+        let (metrics, stats) = run_replicated_with(&cfg, 3, &DecisionStatsFactory);
+        assert_eq!(metrics.n(), 3);
+        assert_eq!(stats.sessions(), 3);
+        // The merged totals equal the sum of per-session folds.
+        let mut expect: Option<DecisionStats> = None;
+        for rep in 0..3 {
+            let (_, s) = run_session_with(&cfg, rep, DecisionStats::new());
+            match expect.as_mut() {
+                None => expect = Some(s),
+                Some(acc) => acc.merge(s),
+            }
+        }
+        assert_eq!(stats, expect.unwrap());
     }
 }

@@ -10,8 +10,8 @@
 //! * [`fastq`] — FASTQ records, a streaming parser and a writer.
 //! * [`sam`] — SAM-style alignment records with both a text form and a
 //!   compact binary ("SBAM") encoding standing in for BAM.
-//! * [`vcf`] — VCF variant records, writer/parser and the merge used by
-//!   the paper's `VariantsToVCF`-style gather step.
+//! * VCF variant records (in [`variant`]), writer/parser and the merge
+//!   used by the paper's `VariantsToVCF`-style gather step.
 //! * [`synth`] — deterministic reference-genome and read generation with a
 //!   configurable sequencing-error model.
 //! * [`shard`] — record-boundary-respecting sharders for FASTQ and SBAM

@@ -11,7 +11,7 @@
 //!   (linear in records, from knowledge-base models), expected queue time
 //!   `EQT` (exponentially-weighted observation average) and the combined
 //!   `ETT(j)`.
-//! * [`delay_cost`] — Eq. 1: the reward lost by delaying everything in a
+//! * [`delay_cost`](mod@delay_cost) — Eq. 1: the reward lost by delaying everything in a
 //!   queue by `delay` time units.
 //! * [`plan`] — execution plans (per-stage shards × threads) and the plan
 //!   optimiser. For the time-based reward, profit is separable per stage

@@ -40,6 +40,6 @@ pub use rng::{RngHub, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    JsonlWriter, NullObserver, Observer, ObserverHandle, RingBuffer, ScalingChoice, TraceEvent,
-    Tracer,
+    JsonlWriter, Merge, NullObserver, NullObserverFactory, Observer, ObserverFactory,
+    ObserverHandle, RingBuffer, ScalingChoice, TraceEvent, Tracer,
 };

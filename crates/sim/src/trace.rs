@@ -22,6 +22,52 @@
 //! for post-mortems), and [`JsonlWriter`] (streams events as JSON lines).
 //! Domain-aware aggregators (e.g. the platform's session-metrics builder)
 //! implement [`Observer`] in their own crates.
+//!
+//! # Parallel sessions: the factory/summary bridge
+//!
+//! Constraint 3 makes a single sink unusable across threads — but it does
+//! not need to be shared. For parallel sweeps, an [`ObserverFactory`]
+//! (which *is* `Sync`) builds one observer per session *inside* each
+//! worker task, and [`ObserverFactory::finish`] folds the finished
+//! observer into a `Send` summary that crosses back to the coordinating
+//! thread. Summaries implementing [`Merge`] are then combined in a
+//! deterministic (session-ordinal) order, so an N-thread sweep reports
+//! bit-identical statistics to a 1-thread run.
+//!
+//! # Example: a custom observer
+//!
+//! Any `impl Observer` can be attached to a [`Tracer`] (or, through the
+//! platform crate, to a whole session). A counter for VM hires:
+//!
+//! ```
+//! use scan_sim::{Observer, SimTime, TraceEvent, Tracer};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! #[derive(Default)]
+//! struct HireCounter {
+//!     hires: u64,
+//! }
+//!
+//! impl Observer for HireCounter {
+//!     fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
+//!         if matches!(event, TraceEvent::VmHired { .. }) {
+//!             self.hires += 1;
+//!         }
+//!     }
+//! }
+//!
+//! let counter = Rc::new(RefCell::new(HireCounter::default()));
+//! let mut tracer = Tracer::disabled();
+//! tracer.attach(counter.clone());
+//! tracer.emit(SimTime::new(1.0), TraceEvent::VmHired { vm: 0, tier: 1, cores: 4 });
+//! tracer.emit(SimTime::new(2.0), TraceEvent::QueueDepthSampled { depth: 3 });
+//! assert_eq!(counter.borrow().hires, 1);
+//! ```
+//!
+//! The event vocabulary itself — every variant, its fields and units, and
+//! one worked JSONL example per variant — is documented in
+//! `docs/TRACE_SCHEMA.md` at the repository root.
 
 use crate::time::SimTime;
 use std::cell::RefCell;
@@ -224,6 +270,86 @@ pub trait Observer {
 
 /// Shared handle to an attached observer.
 pub type ObserverHandle = Rc<RefCell<dyn Observer>>;
+
+/// Builds one observer per parallel session and folds the finished
+/// observer into a [`Send`] summary — the bridge that lets the
+/// `Rc<RefCell<_>>` sink machinery work *across* a thread-pool boundary
+/// without itself becoming thread-safe.
+///
+/// The contract: the factory is shared by reference across worker threads
+/// (hence `Sync`); each worker calls [`ObserverFactory::build`] with the
+/// session's ordinal, owns the observer for exactly one session, then
+/// hands it back through [`ObserverFactory::finish`]. Only the summary
+/// crosses threads, so the observer itself may freely hold `Rc`s, open
+/// files, or scratch buffers.
+pub trait ObserverFactory: Sync {
+    /// The per-session observer this factory builds.
+    type Obs: Observer + 'static;
+    /// The thread-crossing digest of one finished observer.
+    type Summary: Send;
+
+    /// Builds a fresh observer for one session. `session` is the caller's
+    /// ordinal for the session (e.g. the flat `(cell, repetition)` index
+    /// of a sweep) — factories may use it to label output streams or
+    /// ignore it entirely.
+    fn build(&self, session: u64) -> Self::Obs;
+
+    /// Folds a finished observer into its summary after the session's
+    /// final event ([`TraceEvent::RunEnded`]) has been delivered.
+    fn finish(&self, obs: Self::Obs) -> Self::Summary;
+}
+
+/// Closure factories: `|session| SomeObserver::new()` builds the observer
+/// and the summary is the observer itself (for observer types that are
+/// already `Send` once the run is over).
+impl<F, O> ObserverFactory for F
+where
+    F: Fn(u64) -> O + Sync,
+    O: Observer + Send + 'static,
+{
+    type Obs = O;
+    type Summary = O;
+
+    fn build(&self, session: u64) -> O {
+        self(session)
+    }
+
+    fn finish(&self, obs: O) -> O {
+        obs
+    }
+}
+
+/// A summary that can absorb another summary of the same session batch.
+///
+/// Merging must be commutative over *disjoint event streams* in the
+/// counts it keeps, but callers are still required to merge in a
+/// deterministic order (session-ordinal order), so floating-point sums
+/// stay bit-identical regardless of worker-thread count.
+pub trait Merge {
+    /// Absorbs `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl Merge for () {
+    fn merge(&mut self, _other: ()) {}
+}
+
+/// The factory counterpart of [`NullObserver`]: builds inert observers
+/// and summarises them to `()`. Lets "no extra observers" reuse the same
+/// observed code path without a second implementation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserverFactory;
+
+impl ObserverFactory for NullObserverFactory {
+    type Obs = NullObserver;
+    type Summary = ();
+
+    fn build(&self, _session: u64) -> NullObserver {
+        NullObserver
+    }
+
+    fn finish(&self, _obs: NullObserver) {}
+}
 
 /// Fan-out point for trace events. Cloning a `Tracer` clones the sink
 /// list (cheap `Rc` bumps) — clones feed the same observers, which is how
@@ -593,6 +719,29 @@ mod tests {
         for (line, e) in out.lines().zip(&events) {
             assert!(line.contains(&format!("\"kind\":\"{}\"", e.kind())), "{line}");
         }
+    }
+
+    #[test]
+    fn closure_factories_build_per_session_observers() {
+        // A closure is an ObserverFactory whose summary is the observer
+        // itself; `build` must hand out independent instances.
+        let factory = |_session: u64| RingBuffer::new(4);
+        let mut a = ObserverFactory::build(&factory, 0);
+        let b = ObserverFactory::build(&factory, 1);
+        a.on_event(SimTime::new(0.0), &ev());
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 0);
+        let summary = factory.finish(a);
+        assert_eq!(summary.total_seen(), 1);
+    }
+
+    #[test]
+    fn null_factory_is_inert() {
+        let mut obs = NullObserverFactory.build(7);
+        obs.on_event(SimTime::new(0.0), &ev());
+        #[allow(clippy::let_unit_value)]
+        let mut summary = NullObserverFactory.finish(obs);
+        summary.merge(());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The 7-stage GATK pipeline model with the paper's Table II constants.
 //!
 //! Two parallelisation levers exist per stage, mirroring §II-A.2's
-//! "coarse-grained multi-process sharding and fine-grained [threading]":
+//! "coarse-grained multi-process sharding and fine-grained \[threading\]":
 //!
 //! * **Sharding** into `s` pieces: each piece carries `d/s` of the data,
 //!   so the *latency* of an a-dominated stage shrinks toward `b_i`, at the
