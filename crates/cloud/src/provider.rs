@@ -6,7 +6,6 @@ use crate::instance::InstanceSize;
 use crate::tier::{BillingMode, TierCatalog, TierId};
 use crate::vm::{Vm, VmId, VmState};
 use scan_sim::{SimDuration, SimTime, TraceEvent, Tracer};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why a hire request failed.
@@ -27,12 +26,23 @@ impl fmt::Display for HireError {
 impl std::error::Error for HireError {}
 
 /// The simulated cloud provider.
+///
+/// VM state lives in a dense arena indexed by [`VmId`]: slot `i` holds VM
+/// `i` for the whole session (released VMs tombstone their slot — ids are
+/// never reused), so `vm`/`vm_mut` are a bounds check and a pointer add
+/// where they used to be a `BTreeMap` descent. A separate ascending
+/// `live` list keeps iteration over the (much smaller) set of live VMs in
+/// deterministic id order.
 #[derive(Debug, Clone)]
 pub struct CloudProvider {
     catalog: TierCatalog,
-    vms: BTreeMap<VmId, Vm>,
+    /// Arena: slot = `VmId.0`. `None` = released (tombstoned) slot.
+    vms: Vec<Option<Vm>>,
+    /// Live (not yet released) VM ids, ascending. Hires append (ids are
+    /// monotone); releases splice out — live counts are small, so the
+    /// memmove beats tree rebalancing.
+    live: Vec<VmId>,
     cores_in_use: Vec<u32>, // per tier
-    next_id: u64,
     /// Cost already incurred by released VMs (live VMs are integrated on
     /// demand).
     settled_cost: f64,
@@ -53,9 +63,9 @@ impl CloudProvider {
         let n = catalog.len();
         CloudProvider {
             catalog,
-            vms: BTreeMap::new(),
+            vms: Vec::new(),
+            live: Vec::new(),
             cores_in_use: vec![0; n],
-            next_id: 0,
             settled_cost: 0.0,
             settled_cost_by_tier: vec![0.0; n],
             settled_core_tu_by_tier: vec![0.0; n],
@@ -116,8 +126,7 @@ impl CloudProvider {
         if !self.has_capacity(tier, size) {
             return Err(HireError::NoCapacity);
         }
-        let id = VmId(self.next_id);
-        self.next_id += 1;
+        let id = VmId(self.vms.len() as u32);
         let vm = Vm::hire(id, tier, size, now);
         let ready_at = match vm.state {
             VmState::Booting { ready_at } => ready_at,
@@ -125,9 +134,12 @@ impl CloudProvider {
         };
         self.cores_in_use[tier.0] += size.cores();
         self.hired_total += 1;
-        self.vms.insert(id, vm);
-        self.tracer
-            .emit(now, TraceEvent::VmHired { vm: id.0, tier: tier.0 as u32, cores: size.cores() });
+        self.vms.push(Some(vm));
+        self.live.push(id);
+        self.tracer.emit(
+            now,
+            TraceEvent::VmHired { vm: id.0 as u64, tier: tier.0 as u32, cores: size.cores() },
+        );
         Ok((id, ready_at))
     }
 
@@ -137,7 +149,7 @@ impl CloudProvider {
     /// # Panics
     /// Panics on an unknown id or a busy VM.
     pub fn release(&mut self, id: VmId, now: SimTime) {
-        let vm = self.vms.get_mut(&id).expect("release of unknown VM");
+        let mut vm = self.vms[id.slot()].take().expect("release of unknown VM");
         vm.release(now);
         let cores = vm.size.cores();
         let tier = vm.tier;
@@ -152,8 +164,10 @@ impl CloudProvider {
         self.settled_cost_by_tier[tier.0] += cost;
         self.settled_core_tu_by_tier[tier.0] += cores as f64 * span.as_tu();
         self.cores_in_use[tier.0] -= cores;
-        self.vms.remove(&id);
-        self.tracer.emit(now, TraceEvent::VmReleased { vm: id.0, tier: tier.0 as u32, cores });
+        let pos = self.live.binary_search(&id).expect("released VM was live");
+        self.live.remove(pos);
+        self.tracer
+            .emit(now, TraceEvent::VmReleased { vm: id.0 as u64, tier: tier.0 as u32, cores });
     }
 
     /// Reshapes an idle VM to `new_size` (paying the boot penalty).
@@ -165,7 +179,7 @@ impl CloudProvider {
         new_size: InstanceSize,
         now: SimTime,
     ) -> Result<SimTime, HireError> {
-        let vm = self.vms.get_mut(&id).expect("reshape of unknown VM");
+        let vm = self.vms[id.slot()].as_mut().expect("reshape of unknown VM");
         let old = vm.size.cores();
         let new = new_size.cores();
         let tier = vm.tier;
@@ -184,7 +198,7 @@ impl CloudProvider {
         self.tracer.emit(
             now,
             TraceEvent::VmReshaped {
-                vm: id.0,
+                vm: id.0 as u64,
                 tier: tier.0 as u32,
                 cores_from: old,
                 cores_to: new,
@@ -193,24 +207,26 @@ impl CloudProvider {
         Ok(ready)
     }
 
-    /// Access a VM.
+    /// Access a VM. Released (tombstoned) ids return `None`.
+    #[inline]
     pub fn vm(&self, id: VmId) -> Option<&Vm> {
-        self.vms.get(&id)
+        self.vms.get(id.slot())?.as_ref()
     }
 
     /// Mutable access to a VM (to drive its task lifecycle).
+    #[inline]
     pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
-        self.vms.get_mut(&id)
+        self.vms.get_mut(id.slot())?.as_mut()
     }
 
     /// Iterates over live VMs in id order (deterministic).
     pub fn vms(&self) -> impl Iterator<Item = &Vm> {
-        self.vms.values()
+        self.live.iter().map(|id| self.vms[id.slot()].as_ref().expect("live VM present"))
     }
 
     /// Number of live (not yet released) VMs.
     pub fn live_count(&self) -> usize {
-        self.vms.len()
+        self.live.len()
     }
 
     /// Total cost incurred up to `now`: settled cost of released VMs plus
@@ -220,8 +236,7 @@ impl CloudProvider {
     /// integrated over time.
     pub fn total_cost(&self, now: SimTime) -> f64 {
         let live: f64 = self
-            .vms
-            .values()
+            .vms()
             .map(|vm| {
                 let t = self.catalog.get(vm.tier);
                 let billed = match t.billing {
@@ -239,8 +254,7 @@ impl CloudProvider {
     /// addition order.
     pub fn cost_on_tier(&self, tier: TierId, now: SimTime) -> f64 {
         let live: f64 = self
-            .vms
-            .values()
+            .vms()
             .filter(|vm| vm.tier == tier)
             .map(|vm| {
                 let t = self.catalog.get(vm.tier);
@@ -262,8 +276,7 @@ impl CloudProvider {
     /// Core·TU consumed on one tier up to `now` (live + settled).
     pub fn core_tu_on_tier(&self, tier: TierId, now: SimTime) -> f64 {
         let live: f64 = self
-            .vms
-            .values()
+            .vms()
             .filter(|vm| vm.tier == tier)
             .map(|vm| vm.size.cores() as f64 * vm.hired_span(now).as_tu())
             .sum();
@@ -277,23 +290,19 @@ impl CloudProvider {
 
     /// Current cost per TU of keeping all live VMs running.
     pub fn burn_rate(&self) -> f64 {
-        self.vms
-            .values()
+        self.vms()
             .map(|vm| vm.size.cores() as f64 * self.catalog.get(vm.tier).cost_per_core_tu)
             .sum()
     }
 
     /// Idle live VMs whose idle span at `now` is at least `min_idle`,
     /// in id order — candidates for release by the scaling policy.
+    /// (`live` is kept ascending, so no sort is needed.)
     pub fn idle_candidates(&self, now: SimTime, min_idle: SimDuration) -> Vec<VmId> {
-        let mut ids: Vec<VmId> = self
-            .vms
-            .values()
+        self.vms()
             .filter(|vm| vm.is_idle() && vm.idle_span(now) >= min_idle)
             .map(|vm| vm.id)
-            .collect();
-        ids.sort();
-        ids
+            .collect()
     }
 }
 

@@ -20,8 +20,22 @@ pub fn boot_penalty() -> SimDuration {
 }
 
 /// Identifies a VM within a [`crate::provider::CloudProvider`].
+///
+/// A plain `u32` slot index into the provider's arena: lookups are array
+/// indexing, not map searches. Ids are handed out monotonically and
+/// **never reused within a session** — a released VM's slot stays
+/// tombstoned — so "lowest id" always means "hired earliest", the
+/// ordering every deterministic selection rule in the platform relies on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct VmId(pub u64);
+pub struct VmId(pub u32);
+
+impl VmId {
+    /// The arena slot this id names.
+    #[inline]
+    pub fn slot(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

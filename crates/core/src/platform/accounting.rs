@@ -17,7 +17,7 @@ impl Platform {
         self.tracer.emit(
             now,
             TraceEvent::JobCompleted {
-                job: run.job.id.0,
+                job: run.job.id.0 as u64,
                 latency_tu: latency,
                 reward,
                 core_stages: run.plan.total_core_stages() as f64,

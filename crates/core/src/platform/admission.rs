@@ -31,7 +31,8 @@ impl Platform {
     }
 
     fn admit(&mut self, job: Job, now: SimTime) {
-        self.tracer.emit(now, TraceEvent::JobArrived { job: job.id.0, size_units: job.size_units });
+        self.tracer
+            .emit(now, TraceEvent::JobArrived { job: job.id.0 as u64, size_units: job.size_units });
         let plan = match (&self.cfg.forced_plan, &self.learned) {
             (Some(stages), _) => ExecutionPlan::new(stages.clone()),
             (None, Some(planner)) => {
@@ -60,7 +61,7 @@ impl Platform {
 
         let run = JobRun { job, plan, stage: 0, outstanding: 0 };
         let id = run.job.id;
-        self.jobs.insert(id, run);
+        self.jobs.insert(id.slot(), run);
         self.enqueue_stage(id, now);
     }
 
@@ -90,7 +91,7 @@ impl Platform {
     }
 
     pub(super) fn enqueue_stage(&mut self, id: JobId, now: SimTime) {
-        let run = self.jobs.get_mut(&id).expect("enqueue_stage for unknown job");
+        let run = self.jobs.get_mut(id.slot()).expect("enqueue_stage for unknown job");
         let (shards, threads) = run.plan.stage(run.stage);
         run.outstanding = shards;
         let stage = run.stage;
@@ -100,7 +101,12 @@ impl Platform {
         }
         self.tracer.emit(
             now,
-            TraceEvent::JobStageAdvanced { job: id.0, stage: stage as u32, shards, cores: threads },
+            TraceEvent::JobStageAdvanced {
+                job: id.0 as u64,
+                stage: stage as u32,
+                shards,
+                cores: threads,
+            },
         );
         self.tracer.emit_with(now, || TraceEvent::QueueDepthSampled {
             depth: self.queues.total_len() as u32,

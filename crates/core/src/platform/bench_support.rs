@@ -59,7 +59,7 @@ impl PlatformHarness {
                 .hire_on(p.private_tier, size, SimTime::ZERO)
                 .expect("private capacity sized above");
             p.provider.vm_mut(vm).expect("just hired").finish_boot(ready_at);
-            p.idle_by_size.entry(CORES).or_default().insert(vm);
+            p.idle.insert(CORES, vm);
         }
         for i in 0..busy_workers {
             let (vm, ready_at) =
@@ -69,15 +69,17 @@ impl PlatformHarness {
             worker.start_task(ready_at);
             // Staggered finish times so the projected-wait scan does real
             // comparisons instead of hitting one constant.
-            p.busy_until.insert(vm, now + SimDuration::new(1.0 + 0.01 * i as f64));
+            p.busy.insert(vm, now + SimDuration::new(1.0 + 0.01 * i as f64), CORES);
         }
         let n_stages = p.broker.learned_model().n_stages();
         for i in 0..queued_jobs {
-            let id = JobId(1_000_000 + i as u64);
+            // Dense ids from zero, matching arrival numbering — the job
+            // arena is sized by the highest id.
+            let id = JobId(i as u32);
             let job = Job::new(id, 5.0, SimTime::ZERO);
             // One 4-core shard per stage — shaped like `class` at stage 0.
             let plan = ExecutionPlan::new(vec![(1, CORES); n_stages]);
-            p.jobs.insert(id, JobRun { job, plan, stage: 0, outstanding: 1 });
+            p.jobs.insert(id.slot(), JobRun { job, plan, stage: 0, outstanding: 1 });
             p.queues.push(class, SubtaskRef { job: id }, SimTime::ZERO);
         }
 
@@ -88,8 +90,8 @@ impl PlatformHarness {
     /// lookup pair. Returns the VM number so callers can black-box it.
     pub fn take_idle_cycle(&mut self) -> u64 {
         let vm = self.platform.take_idle(CORES).expect("harness keeps idle workers");
-        self.platform.idle_by_size.get_mut(&CORES).expect("pool exists").insert(vm);
-        vm.0
+        self.platform.idle.insert(CORES, vm);
+        vm.0 as u64
     }
 
     /// One full `assign`: pops the queue head onto an idle worker and
@@ -111,12 +113,12 @@ impl PlatformHarness {
         // re-queueing the popped subtask at the tail restores an
         // equivalent state.
         self.cal.clear();
-        self.platform.busy_until.remove(&vm);
+        self.platform.busy.remove(vm);
         let worker = self.platform.provider.vm_mut(vm).expect("assigned VM");
         worker.finish_task(self.now);
-        self.platform.idle_by_size.entry(CORES).or_default().insert(vm);
+        self.platform.idle.insert(CORES, vm);
         self.platform.queues.push(self.class, SubtaskRef { job: head }, self.now);
-        vm.0
+        vm.0 as u64
     }
 
     /// One hiring-path pricing pass: fills the Eq. 1 queue view from the

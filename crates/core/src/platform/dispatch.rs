@@ -6,41 +6,51 @@ use super::Platform;
 use scan_cloud::vm::VmId;
 use scan_kb::ProfileRecord;
 use scan_sched::alloc::AllocationPolicy;
-use scan_sched::queue::TaskClass;
+use scan_sched::queue::{TaskClass, SHAPE_CORES};
 use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
 use scan_workload::job::JobId;
+use std::borrow::Cow;
 
 impl Platform {
     pub(super) fn take_idle(&mut self, cores: u32) -> Option<VmId> {
-        let set = self.idle_by_size.get_mut(&cores)?;
-        let id = *set.iter().next()?;
-        set.remove(&id);
-        Some(id)
+        self.idle.take_min(cores)
     }
 
     /// Matches queued subtasks to idle workers and takes scaling decisions
     /// for stalled classes.
+    ///
+    /// Walks the dense `(stage, shape)` queue grid directly — the same
+    /// ascending `(stage, cores)` order the old keyed iteration had,
+    /// without materialising a class list per pass. Nothing inside the
+    /// loop enqueues new subtasks, so reading lengths live is equivalent
+    /// to snapshotting them up front.
     pub(super) fn dispatch(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
-        for class in self.queues.nonempty_classes() {
-            // Serve with idle same-shape workers.
-            while self.queues.get(class).map(|q| !q.is_empty()).unwrap_or(false) {
-                let Some(vm_id) = self.take_idle(class.cores) else {
-                    break;
-                };
-                self.assign(class, vm_id, now, cal);
-            }
-            // Stalled: decide whether to grow.
-            let queued = self.queues.get(class).map(|q| q.len()).unwrap_or(0);
-            if queued == 0 {
-                continue;
-            }
-            let pending = *self.pending.get(&class).unwrap_or(&0);
-            let mut deficit = (queued as u32).saturating_sub(pending);
-            while deficit > 0 {
-                if !self.try_grow(class, now, cal) {
-                    break;
+        for stage in 0..self.queues.n_stages() {
+            for (slot, &cores) in SHAPE_CORES.iter().enumerate() {
+                if self.queues.at(stage, slot).map(|q| q.is_empty()).unwrap_or(true) {
+                    continue;
                 }
-                deficit -= 1;
+                let class = TaskClass { stage, cores };
+                // Serve with idle same-shape workers.
+                while self.queues.get(class).map(|q| !q.is_empty()).unwrap_or(false) {
+                    let Some(vm_id) = self.take_idle(class.cores) else {
+                        break;
+                    };
+                    self.assign(class, vm_id, now, cal);
+                }
+                // Stalled: decide whether to grow.
+                let queued = self.queues.get(class).map(|q| q.len()).unwrap_or(0);
+                if queued == 0 {
+                    continue;
+                }
+                let pending = self.pending.get(class.stage, class.cores);
+                let mut deficit = (queued as u32).saturating_sub(pending);
+                while deficit > 0 {
+                    if !self.try_grow(class, now, cal) {
+                        break;
+                    }
+                    deficit -= 1;
+                }
             }
         }
         self.tracer.emit_with(now, || TraceEvent::QueueDepthSampled {
@@ -56,23 +66,25 @@ impl Platform {
         vm_id: VmId,
         cal: &mut Calendar<Event>,
     ) {
-        self.tracer
-            .emit(now, TraceEvent::SubtaskDone { job: job.0, stage: stage as u32, vm: vm_id.0 });
+        self.tracer.emit(
+            now,
+            TraceEvent::SubtaskDone { job: job.0 as u64, stage: stage as u32, vm: vm_id.0 as u64 },
+        );
         // Free the worker.
-        self.busy_until.remove(&vm_id);
+        self.busy.remove(vm_id);
         let vm = self.provider.vm_mut(vm_id).expect("done event for unknown VM");
         vm.finish_task(now);
         let cores = vm.size.cores();
-        self.idle_by_size.entry(cores).or_default().insert(vm_id);
+        self.idle.insert(cores, vm_id);
 
         // Advance the job.
-        let run = self.jobs.get_mut(&job).expect("done event for unknown job");
+        let run = self.jobs.get_mut(job.slot()).expect("done event for unknown job");
         debug_assert_eq!(run.stage, stage, "stage mismatch in completion event");
         run.outstanding -= 1;
         if run.outstanding == 0 {
             run.stage += 1;
             if run.stage == run.plan.n_stages() {
-                let run = self.jobs.remove(&job).expect("just present");
+                let run = self.jobs.remove(job.slot()).expect("just present");
                 self.complete(run, now);
             } else {
                 self.enqueue_stage(job, now);
@@ -92,7 +104,7 @@ impl Platform {
             self.queues.pop(class, now).expect("assign called with non-empty queue");
         self.estimator.queue_times_mut().observe(class.stage, wait.as_tu());
 
-        let run = self.jobs.get(&subtask.job).expect("queued subtask has a live job");
+        let run = self.jobs.get(subtask.job.slot()).expect("queued subtask has a live job");
         let (shards, threads) = run.plan.stage(run.stage);
         debug_assert_eq!(threads, class.cores);
         let stage = run.stage;
@@ -111,7 +123,7 @@ impl Platform {
             self.adaptive_ingest_counter += 1;
             if self.adaptive_ingest_counter.is_multiple_of(32) {
                 self.broker.ingest_log(&ProfileRecord {
-                    application: "GATK".into(),
+                    application: Cow::Borrowed("GATK"),
                     stage: (stage + 1) as u32,
                     input_gb: d_gb,
                     threads,
@@ -124,18 +136,21 @@ impl Platform {
         let vm = self.provider.vm_mut(vm_id).expect("idle VM exists");
         vm.start_task(now);
         let done_at = now + duration;
-        self.busy_until.insert(vm_id, done_at);
+        self.busy.insert(vm_id, done_at, class.cores);
         self.tracer.emit(
             now,
             TraceEvent::SubtaskDispatched {
-                job: subtask.job.0,
+                job: subtask.job.0 as u64,
                 stage: stage as u32,
-                vm: vm_id.0,
+                vm: vm_id.0 as u64,
                 cores: class.cores,
                 waited_tu: wait.as_tu(),
                 busy_tu: duration.as_tu(),
             },
         );
-        cal.schedule(done_at, Event::SubtaskDone { job: subtask.job, stage, vm: vm_id });
+        cal.schedule(
+            done_at,
+            Event::SubtaskDone { job: subtask.job, stage: stage as u32, vm: vm_id },
+        );
     }
 }

@@ -5,6 +5,10 @@ use scan_sched::plan::ExecutionPlan;
 use scan_workload::job::{Job, JobId};
 
 /// Simulation events.
+///
+/// Kept at or under 16 bytes (u32 ids + u32 stage + discriminant) so the
+/// calendar's heap entries stay two words of payload — heap sift moves
+/// are the simulator's hottest memory traffic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// The next job batch arrives.
@@ -16,7 +20,7 @@ pub enum Event {
         /// Owning job.
         job: JobId,
         /// Stage the subtask belonged to (consistency check).
-        stage: usize,
+        stage: u32,
         /// The worker that ran it.
         vm: VmId,
     },
@@ -25,6 +29,10 @@ pub enum Event {
     /// Periodic re-planning / model-refresh tick.
     Replan,
 }
+
+// Layout audit: growing `Event` past 16 bytes fattens every calendar
+// heap entry; fail the build instead of silently regressing.
+const _: () = assert!(std::mem::size_of::<Event>() <= 16);
 
 /// A queued shard subtask (the queue key carries stage and shape).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -7,7 +7,7 @@ use super::Platform;
 use scan_cloud::instance::InstanceSize;
 use scan_cloud::vm::{boot_penalty, VmId};
 use scan_sched::delay_cost::{delay_cost, QueuedJobView};
-use scan_sched::queue::TaskClass;
+use scan_sched::queue::{TaskClass, SHAPE_CORES};
 use scan_sched::scaling::{ScalingContext, ScalingDecision};
 use scan_sim::{Calendar, ScalingChoice, SimTime, TraceEvent};
 
@@ -41,19 +41,18 @@ impl Platform {
         // shape instead of hiring, paying the 30 s penalty (§IV-B).
         if self.cfg.allow_reshape {
             if let Some(vm_id) = self.reshape_candidate(class.cores, now) {
+                // The candidate's current shape, read from its VM record
+                // *before* the reshape overwrites it — this is the pool it
+                // must leave (the old code searched every pool for the id).
+                let old_cores = self.provider.vm(vm_id).expect("candidate is live").size.cores();
                 match self.provider.reshape(vm_id, size, now) {
                     Ok(ready_at) => {
                         // The VM is booting again — pull it out of the
                         // idle pool so nothing assigns to it meanwhile.
-                        let old_cores = *self
-                            .idle_by_size
-                            .iter()
-                            .find(|(_, s)| s.contains(&vm_id))
-                            .expect("reshaped VM was idle")
-                            .0;
-                        self.idle_by_size.get_mut(&old_cores).expect("pool exists").remove(&vm_id);
-                        *self.pending.entry(class).or_insert(0) += 1;
-                        self.vm_reserved_for.insert(vm_id, class);
+                        let removed = self.idle.remove(old_cores, vm_id);
+                        debug_assert!(removed, "reshaped VM was idle");
+                        self.pending.increment(class.stage, class.cores);
+                        self.vm_reserved_for.insert(vm_id.slot(), class);
                         // Narrate the decision after the action (whether a
                         // candidate can actually reshape is only known from
                         // the provider's answer).
@@ -79,7 +78,7 @@ impl Platform {
 
         // The first `pending` queued items are already covered by hires
         // in flight; the marginal decision looks only at the remainder.
-        let covered = *self.pending.get(&class).unwrap_or(&0) as usize;
+        let covered = self.pending.get(class.stage, class.cores) as usize;
         self.fill_queue_view(class, covered, now);
         let inputs = self.scaling_inputs(class, now);
         let ctx = ScalingContext {
@@ -132,8 +131,8 @@ impl Platform {
         };
         match self.provider.hire_on(tier, size, now) {
             Ok((vm_id, ready_at)) => {
-                *self.pending.entry(class).or_insert(0) += 1;
-                self.vm_reserved_for.insert(vm_id, class);
+                self.pending.increment(class.stage, class.cores);
+                self.vm_reserved_for.insert(vm_id.slot(), class);
                 cal.schedule(ready_at, Event::VmReady(vm_id));
                 true
             }
@@ -143,16 +142,26 @@ impl Platform {
 
     /// Fills the scratch buffer with Eq. 1's queue view: distinct jobs
     /// waiting in `class`, less the first `skip` entries already covered
-    /// by in-flight hires. Reuses the platform's scratch allocations.
+    /// by in-flight hires. Reuses the platform's scratch allocations; the
+    /// per-job dedup is a stamp array over the job-id space (bumping the
+    /// stamp clears it in O(1) — no per-fill set rebuild).
     pub(super) fn fill_queue_view(&mut self, class: TaskClass, skip: usize, now: SimTime) {
         self.scaling_scratch.clear();
-        self.scaling_seen.clear();
+        self.scaling_stamp = self.scaling_stamp.wrapping_add(1);
+        if self.scaling_stamp == 0 {
+            // Stamp wrapped: stale entries could alias the fresh epoch.
+            self.scaling_seen.fill(0);
+            self.scaling_stamp = 1;
+        }
+        self.scaling_seen.resize(self.jobs.slot_bound().max(self.scaling_seen.len()), 0);
         if let Some(q) = self.queues.get(class) {
             for entry in q.iter().skip(skip).take(Self::MAX_QUEUE_VIEW) {
-                if !self.scaling_seen.insert(entry.item.job) {
+                let slot = entry.item.job.slot();
+                if self.scaling_seen[slot] == self.scaling_stamp {
                     continue;
                 }
-                if let Some(run) = self.jobs.get(&entry.item.job) {
+                self.scaling_seen[slot] = self.scaling_stamp;
+                if let Some(run) = self.jobs.get(slot) {
                     self.scaling_scratch.push(QueuedJobView {
                         size_units: run.job.size_units,
                         ett: self.estimator.ett(&run.job, run.stage, &run.plan.stages, now),
@@ -165,15 +174,11 @@ impl Platform {
     /// The scalar half of the scaling context for `class`.
     pub(super) fn scaling_inputs(&self, class: TaskClass, now: SimTime) -> ScalingInputs {
         // Projected wait: the soonest same-shape worker to free up or
-        // finish booting; a long sentinel when none exists at all.
-        let mut expected_wait = f64::INFINITY;
-        for (&vm_id, &until) in &self.busy_until {
-            if let Some(vm) = self.provider.vm(vm_id) {
-                if vm.size.cores() == class.cores {
-                    expected_wait = expected_wait.min((until - now).as_tu());
-                }
-            }
-        }
+        // finish booting; a long sentinel when none exists at all. The
+        // busy table caches each worker's shape, so this is one linear
+        // scan with no per-entry provider lookup.
+        let mut expected_wait =
+            self.busy.min_wait_for_cores(class.cores, now).unwrap_or(f64::INFINITY);
         if expected_wait.is_infinite() {
             for vm in self.provider.vms() {
                 if vm.is_booting() && vm.size.cores() == class.cores {
@@ -190,7 +195,7 @@ impl Platform {
             .queues
             .get(class)
             .and_then(|q| q.iter().next())
-            .and_then(|e| self.jobs.get(&e.item.job))
+            .and_then(|e| self.jobs.get(e.item.job.slot()))
             .map(|run| {
                 let (shards, threads) = run.plan.stage(run.stage);
                 self.estimator.eet(run.stage, run.job.size_units, shards, threads)
@@ -210,26 +215,19 @@ impl Platform {
     /// of a shape with more idle machines than queued demand (cannibalise
     /// only surplus shapes), smallest shape first to conserve capacity.
     fn reshape_candidate(&self, cores: u32, now: SimTime) -> Option<VmId> {
-        for (&size, set) in &self.idle_by_size {
-            if size == cores || set.is_empty() {
+        for (slot, &size) in SHAPE_CORES.iter().enumerate() {
+            if size == cores || self.idle.len_of_slot(slot) == 0 {
                 continue;
             }
-            let shape_demand: usize =
-                self.queues.iter().filter(|(c, _)| c.cores == size).map(|(_, q)| q.len()).sum();
-            if set.len() > shape_demand {
+            let shape_demand = self.queues.shape_len(slot);
+            if self.idle.len_of_slot(slot) > shape_demand {
                 // Only cannibalise *stably* idle workers: a shape whose
                 // pool just drained will be needed again within a batch
                 // gap, and flip-flopping shapes pays the 30 s penalty both
                 // ways while destroying pool warmth.
-                return set
-                    .iter()
-                    .find(|&&vm| {
-                        self.provider
-                            .vm(vm)
-                            .map(|v| v.idle_span(now).as_tu() >= 1.0)
-                            .unwrap_or(false)
-                    })
-                    .copied();
+                return self.idle.iter_slot_asc(slot).find(|&vm| {
+                    self.provider.vm(vm).map(|v| v.idle_span(now).as_tu() >= 1.0).unwrap_or(false)
+                });
             }
         }
         None

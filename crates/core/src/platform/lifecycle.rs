@@ -7,30 +7,28 @@ use scan_cloud::instance::InstanceSize;
 use scan_cloud::vm::VmId;
 use scan_sched::alloc::AllocationPolicy;
 use scan_sched::plan::ExecutionPlan;
+use scan_sched::queue::{shape_slot, N_SHAPES};
 use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
-use std::collections::BTreeMap;
 
 impl Platform {
     pub(super) fn on_vm_ready(&mut self, now: SimTime, vm_id: VmId, cal: &mut Calendar<Event>) {
-        if let Some(class) = self.vm_reserved_for.remove(&vm_id) {
-            if let Some(p) = self.pending.get_mut(&class) {
-                *p = p.saturating_sub(1);
-            }
+        if let Some(class) = self.vm_reserved_for.remove(vm_id.slot()) {
+            self.pending.decrement_saturating(class.stage, class.cores);
         }
         let vm = self.provider.vm_mut(vm_id).expect("ready event for unknown VM");
         vm.finish_boot(now);
         let cores = vm.size.cores();
-        self.tracer.emit(now, TraceEvent::VmBooted { vm: vm_id.0, cores });
-        self.idle_by_size.entry(cores).or_default().insert(vm_id);
+        self.tracer.emit(now, TraceEvent::VmBooted { vm: vm_id.0 as u64, cores });
+        self.idle.insert(cores, vm_id);
         self.dispatch(now, cal);
     }
 
     pub(super) fn on_idle_sweep(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
         let public_timeout = SimDuration::new(self.cfg.fixed.public_idle_timeout_tu);
         let private_timeout = SimDuration::new(self.cfg.fixed.idle_timeout_tu);
-        let mut live: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut live = [0usize; N_SHAPES];
         for vm in self.provider.vms() {
-            *live.entry(vm.size.cores()).or_insert(0) += 1;
+            live[shape_slot(vm.size.cores())] += 1;
         }
         for vm_id in self.provider.idle_candidates(now, public_timeout.min(private_timeout)) {
             let vm = self.provider.vm(vm_id).expect("candidate exists");
@@ -43,16 +41,14 @@ impl Platform {
             // Private pools never shrink below their standing target;
             // public workers are always releasable.
             if vm.tier == self.private_tier {
-                let floor = *self.standing_target.get(&cores).unwrap_or(&0) as usize;
-                let alive = live.entry(cores).or_insert(0);
+                let floor = self.standing_target.floor_for(cores) as usize;
+                let alive = &mut live[shape_slot(cores)];
                 if *alive <= floor {
                     continue;
                 }
                 *alive -= 1;
             }
-            if let Some(set) = self.idle_by_size.get_mut(&cores) {
-                set.remove(&vm_id);
-            }
+            self.idle.remove(cores, vm_id);
             self.provider.release(vm_id, now);
         }
         cal.schedule(now + SimDuration::new(0.5), Event::IdleSweep);
@@ -81,21 +77,29 @@ impl Platform {
             (self.cfg.arrival_config().mean_job_rate(), self.cfg.fixed.mean_job_size)
         };
         let model = self.broker.learned_model().clone();
-        let mut target: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut target = [0.0f64; N_SHAPES];
         for (i, &(s, t)) in plan.stages.iter().enumerate() {
             let d_gb = model.units_to_gb(mean_size) / s as f64;
             let task_tu =
                 model.stage_latency(i, mean_size, s, t) + self.broker.staging_time(d_gb).as_tu();
-            *target.entry(t).or_insert(0.0) += rate * s as f64 * task_tu;
+            target[shape_slot(t)] += rate * s as f64 * task_tu;
         }
-        self.standing_target = target
-            .into_iter()
-            .map(|(c, busy_vms)| (c, (self.cfg.fixed.pool_headroom * busy_vms).ceil() as u32))
-            .collect();
+        self.standing_target.clear();
+        for (slot, &busy_vms) in target.iter().enumerate() {
+            if busy_vms > 0.0 {
+                self.standing_target.set(
+                    scan_sched::queue::SHAPE_CORES[slot],
+                    (self.cfg.fixed.pool_headroom * busy_vms).ceil() as u32,
+                );
+            }
+        }
 
-        // Top pools up from the private tier.
-        let targets: Vec<(u32, u32)> = self.standing_target.iter().map(|(&c, &n)| (c, n)).collect();
-        for (cores, want) in targets {
+        // Top pools up from the private tier (ascending shapes, the old
+        // keyed iteration order).
+        for (cores, want) in self.standing_target.iter().collect::<Vec<_>>() {
+            if want == 0 {
+                continue;
+            }
             let live = self.live_count_by_size(cores);
             let size = InstanceSize::new(cores).expect("plan shapes are instance sizes");
             for _ in live..(want as usize) {

@@ -37,6 +37,7 @@ mod dispatch;
 mod events;
 mod hiring;
 mod lifecycle;
+mod state;
 #[cfg(test)]
 mod tests;
 
@@ -49,7 +50,6 @@ use crate::metrics::SessionMetrics;
 use events::JobRun;
 use scan_cloud::provider::CloudProvider;
 use scan_cloud::tier::{BillingMode, Tier, TierCatalog, TierId};
-use scan_cloud::vm::VmId;
 use scan_sched::alloc::{AllocationPolicy, Allocator};
 use scan_sched::delay_cost::QueuedJobView;
 use scan_sched::estimate::EttEstimator;
@@ -61,10 +61,9 @@ use scan_sim::{
 };
 use scan_workload::arrivals::ArrivalProcess;
 use scan_workload::gatk::PipelineModel;
-use scan_workload::job::JobId;
 use scan_workload::reward::RewardFn;
+use state::{BusyTable, ClassCounts, IdlePools, SlotArena, StandingTargets};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
 /// The assembled platform; drives itself through [`Engine`]. A thin
@@ -82,17 +81,23 @@ pub struct Platform {
     estimator: EttEstimator,
     allocator: Allocator,
     queues: QueueSet<events::SubtaskRef>,
-    jobs: HashMap<JobId, JobRun>,
-    idle_by_size: BTreeMap<u32, BTreeSet<VmId>>,
-    busy_until: HashMap<VmId, SimTime>,
+    /// Live job runs, arena-indexed by `JobId` (ids are dense arrival
+    /// ordinals; completed jobs tombstone their slot).
+    jobs: SlotArena<JobRun>,
+    /// Per-shape idle-worker pools with deterministic min-id pop.
+    idle: IdlePools,
+    /// Busy workers with cached finish time and shape.
+    busy: BusyTable,
     /// Hires/reshapes in flight per class, so a stalled queue does not
     /// hire one VM per dispatch pass.
-    pending: BTreeMap<TaskClass, u32>,
-    vm_reserved_for: HashMap<VmId, TaskClass>,
+    pending: ClassCounts,
+    /// Which class an in-flight hire/reshape is reserved for, keyed by
+    /// VM id slot.
+    vm_reserved_for: SlotArena<TaskClass>,
     /// Standing worker-pool targets per instance size (VM counts): "the
     /// SCAN Scheduler maintains analytic task queues and pools of SCAN
     /// workers" (§III-A). Sized from the learned model + load forecast.
-    standing_target: BTreeMap<u32, u32>,
+    standing_target: StandingTargets,
     exec_noise: SimRng,
     /// §VI learned policy: the ε-greedy bandit and its RNG stream. The
     /// bandit works in *epochs* (one arm per replan period, scored by the
@@ -116,7 +121,11 @@ pub struct Platform {
     /// Scratch for the Eq. 1 queue view, reused across scaling decisions
     /// so the dispatch hot path allocates nothing per event (DESIGN §7).
     scaling_scratch: Vec<QueuedJobView>,
-    scaling_seen: BTreeSet<JobId>,
+    /// Per-job stamps for the queue-view dedup: `scaling_seen[job] ==
+    /// scaling_stamp` means "already counted this fill". Bumping the
+    /// stamp clears the whole set in O(1).
+    scaling_seen: Vec<u32>,
+    scaling_stamp: u32,
 }
 
 impl Platform {
@@ -196,12 +205,12 @@ impl Platform {
             estimator,
             allocator,
             queues: QueueSet::new(),
-            jobs: HashMap::new(),
-            idle_by_size: BTreeMap::new(),
-            busy_until: HashMap::new(),
-            pending: BTreeMap::new(),
-            vm_reserved_for: HashMap::new(),
-            standing_target: BTreeMap::new(),
+            jobs: SlotArena::new(),
+            idle: IdlePools::new(),
+            busy: BusyTable::new(),
+            pending: ClassCounts::new(),
+            vm_reserved_for: SlotArena::new(),
+            standing_target: StandingTargets::default(),
             exec_noise: hub.stream("exec-noise"),
             learned,
             learned_rng: hub.stream("learned-policy"),
@@ -216,7 +225,8 @@ impl Platform {
             tracer,
             aggregator,
             scaling_scratch: Vec::new(),
-            scaling_seen: BTreeSet::new(),
+            scaling_seen: Vec::new(),
+            scaling_stamp: 0,
             cfg,
         }
     }
@@ -236,6 +246,10 @@ impl Platform {
         let horizon = SimTime::new(self.cfg.fixed.sim_time_tu);
         let mut engine: Engine<Event> = Engine::with_horizon(horizon);
         let cal = engine.calendar_mut();
+        // Pre-size the heap for the steady-state backlog (one completion
+        // per in-flight subtask plus the periodic ticks) so it never
+        // re-heapifies mid-run.
+        cal.reserve(1024);
         self.resize_standing_pools(SimTime::ZERO, cal);
         cal.schedule(self.arrivals.next_arrival_at().min(horizon), Event::Arrival);
         cal.schedule(SimTime::new(1.0), Event::IdleSweep);
@@ -252,7 +266,9 @@ impl EventHandler for Platform {
         match event {
             Event::Arrival => self.on_arrival(now, cal),
             Event::VmReady(vm) => self.on_vm_ready(now, vm, cal),
-            Event::SubtaskDone { job, stage, vm } => self.on_subtask_done(now, job, stage, vm, cal),
+            Event::SubtaskDone { job, stage, vm } => {
+                self.on_subtask_done(now, job, stage as usize, vm, cal)
+            }
             Event::IdleSweep => self.on_idle_sweep(now, cal),
             Event::Replan => self.on_replan(now, cal),
         }

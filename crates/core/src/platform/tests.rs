@@ -257,6 +257,33 @@ const GOLDEN_COST_BITS: u64 = 4685544889200563958;
 const GOLDEN_MEAN_LATENCY_BITS: u64 = 4625447817232181644;
 const GOLDEN_EVENTS: u64 = 13611;
 
+/// Golden fixed-seed *trace*: the full JSONL event stream of a session
+/// must stay byte-identical across refactors — a much stronger check than
+/// the aggregate metrics above, since it pins the order and payload of
+/// every event. Regenerate by running with `--nocapture` on a mismatch
+/// and copying the printed hash/length (and say why in EXPERIMENTS.md).
+#[test]
+fn golden_fixed_seed_trace_bytes() {
+    let sink = Rc::new(RefCell::new(JsonlWriter::new(Vec::<u8>::new())));
+    let mut p = Platform::new(short_config(ScalingPolicy::Predictive, 2.5), 0);
+    p.add_observer(sink.clone());
+    let _ = p.run();
+    let writer = Rc::try_unwrap(sink).ok().expect("sole owner after run").into_inner();
+    let bytes = writer.into_inner();
+    // FNV-1a over the raw JSONL bytes: dependency-free and stable.
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in &bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    println!("golden trace: len={} fnv1a={:#018x}", bytes.len(), hash);
+    assert_eq!(bytes.len(), GOLDEN_TRACE_LEN);
+    assert_eq!(hash, GOLDEN_TRACE_FNV1A);
+}
+
+const GOLDEN_TRACE_LEN: usize = 4320480;
+const GOLDEN_TRACE_FNV1A: u64 = 0x1e60fb8be0190fbc;
+
 // ----------------------------------------------------------------------
 // §VI learned policy
 // ----------------------------------------------------------------------
@@ -319,13 +346,13 @@ mod fifo {
                 cal.schedule(
                     SimTime::new(slot as f64),
                     Event::SubtaskDone {
-                        job: JobId(i as u64),
-                        stage: slot as usize,
-                        vm: VmId(i as u64),
+                        job: JobId(i as u32),
+                        stage: slot,
+                        vm: VmId(i as u32),
                     },
                 );
             }
-            let mut popped: Vec<(f64, u64)> = Vec::new();
+            let mut popped: Vec<(f64, u32)> = Vec::new();
             while let Some(e) = cal.pop() {
                 let Event::SubtaskDone { job, .. } = e.event else { unreachable!() };
                 popped.push((e.at.as_tu(), job.0));
@@ -338,6 +365,96 @@ mod fifo {
                         w[0].1 < w[1].1,
                         "FIFO violated at t={}: {} before {}",
                         w[0].0, w[0].1, w[1].1
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Arena id non-resurrection (slot reuse never revives a freed id)
+// ----------------------------------------------------------------------
+
+mod arena_reuse {
+    use super::super::state::SlotArena;
+    use proptest::prelude::*;
+    use scan_cloud::instance::InstanceSize;
+    use scan_cloud::provider::CloudProvider;
+    use scan_cloud::tier::TierCatalog;
+    use scan_cloud::vm::VmId;
+    use scan_sim::SimTime;
+
+    proptest! {
+        /// Random interleavings of insert/remove on the job arena: a
+        /// removed slot stays a tombstone for the rest of the session, so
+        /// a freed JobId can never denote a different, later job.
+        #[test]
+        fn prop_slot_arena_never_resurrects_freed_ids(
+            ops in proptest::collection::vec(0u32..2, 1..64),
+        ) {
+            let mut arena: SlotArena<u32> = SlotArena::new();
+            let mut next = 0u32;
+            let mut live: Vec<u32> = Vec::new();
+            let mut freed: Vec<u32> = Vec::new();
+            for &op in &ops {
+                if op == 1 || live.is_empty() {
+                    arena.insert(next as usize, next);
+                    live.push(next);
+                    next += 1;
+                } else {
+                    let id = live.remove(live.len() / 2);
+                    prop_assert_eq!(arena.remove(id as usize), Some(id));
+                    freed.push(id);
+                }
+                for &id in &freed {
+                    prop_assert!(
+                        arena.get(id as usize).is_none(),
+                        "freed id {} resurrected", id
+                    );
+                }
+                for &id in &live {
+                    prop_assert_eq!(arena.get(id as usize), Some(&id));
+                }
+            }
+        }
+
+        /// Same invariant one layer down: the provider hands out VM ids in
+        /// strictly increasing order and never reissues a released id, so
+        /// "lowest id first" worker selection stays a stable hire-order
+        /// tie-break across arbitrary churn.
+        #[test]
+        fn prop_provider_never_reissues_released_vm_ids(
+            ops in proptest::collection::vec(0u32..2, 1..64),
+        ) {
+            let mut provider = CloudProvider::new(TierCatalog::paper_hybrid(50.0));
+            let size = InstanceSize::new(4).expect("4 cores is a catalog size");
+            let mut live: Vec<VmId> = Vec::new();
+            let mut released: Vec<VmId> = Vec::new();
+            let mut last_issued: Option<VmId> = None;
+            for (i, &op) in ops.iter().enumerate() {
+                let now = SimTime::new(i as f64);
+                if op == 1 || live.is_empty() {
+                    // Capacity exhaustion is fine — the invariant is about
+                    // the ids of the hires that do succeed.
+                    if let Ok((id, _)) = provider.hire(size, now) {
+                        prop_assert!(
+                            last_issued.is_none_or(|p| id > p),
+                            "ids not strictly increasing: {:?} after {:?}", id, last_issued
+                        );
+                        prop_assert!(!released.contains(&id), "released id {:?} reissued", id);
+                        last_issued = Some(id);
+                        live.push(id);
+                    }
+                } else {
+                    let id = live.remove(live.len() / 2);
+                    provider.release(id, now);
+                    released.push(id);
+                }
+                for &id in &released {
+                    prop_assert!(
+                        provider.vm(id).is_none(),
+                        "released VM {:?} still resolvable", id
                     );
                 }
             }

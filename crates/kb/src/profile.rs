@@ -12,12 +12,15 @@
 use crate::ontology::Ontology;
 use crate::term::{NodeId, Term};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// One observed task execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileRecord {
-    /// Application (class) name: `GATK`, `BWA`, `MaxQuant`, …
-    pub application: String,
+    /// Application (class) name: `GATK`, `BWA`, `MaxQuant`, … Borrowed
+    /// for the static names the simulator emits on its hot path (no
+    /// per-record allocation), owned when read back from the store.
+    pub application: Cow<'static, str>,
     /// 1-based pipeline stage index (the paper's `steps` property).
     pub stage: u32,
     /// Input data size in GB (the paper's `inputFileSize`).
@@ -34,7 +37,7 @@ impl ProfileRecord {
     /// Convenience constructor for single-threaded GATK observations.
     pub fn gatk(stage: u32, input_gb: f64, e_time: f64) -> Self {
         ProfileRecord {
-            application: "GATK".to_string(),
+            application: Cow::Borrowed("GATK"),
             stage,
             input_gb,
             threads: 1,
@@ -49,10 +52,9 @@ impl Ontology {
     /// (`GATK1`, `GATK2`, …) with the paper's datatype properties, and
     /// returns its node.
     pub fn ingest_profile(&mut self, rec: &ProfileRecord) -> NodeId {
-        let class = self
-            .lookup_class(&rec.application)
-            .unwrap_or_else(|| self.class(&rec.application.clone()));
-        let id = self.fresh_individual(&rec.application.clone(), class);
+        let class =
+            self.lookup_class(&rec.application).unwrap_or_else(|| self.class(&rec.application));
+        let id = self.fresh_individual(&rec.application, class);
         let v = *self.vocab();
         // Also type it as an Application instance, as in the paper's
         // `<rdf:type rdf:resource="&scan-ontology;Application"/>` rows.
@@ -83,7 +85,7 @@ impl Ontology {
             };
             let ram_gb = self.store().number(id, v.ram).unwrap_or(0.0);
             out.push(ProfileRecord {
-                application: application.to_string(),
+                application: Cow::Owned(application.to_string()),
                 stage: stage as u32,
                 input_gb,
                 threads: threads as u32,

@@ -8,7 +8,28 @@
 
 use scan_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Worker shapes (cores) a task class can ask for, ascending. Powers of
+/// two: shape ↔ slot conversion is a `trailing_zeros`.
+pub const SHAPE_CORES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Number of distinct worker shapes.
+pub const N_SHAPES: usize = SHAPE_CORES.len();
+
+/// Dense slot for a shape (1→0, 2→1, 4→2, 8→3, 16→4).
+///
+/// # Panics
+/// Panics (in debug builds) when `cores` is not a valid shape.
+#[inline]
+pub fn shape_slot(cores: u32) -> usize {
+    let slot = cores.trailing_zeros() as usize;
+    debug_assert!(
+        slot < N_SHAPES && SHAPE_CORES[slot] == cores,
+        "invalid worker shape: {cores} cores"
+    );
+    slot
+}
 
 /// The queue key: pipeline stage × worker cores required.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -106,15 +127,23 @@ impl<T> TaskQueue<T> {
     }
 }
 
-/// A keyed family of queues.
+/// A keyed family of queues, stored densely.
+///
+/// Classes are `(stage, shape)` pairs where the shape axis is the fixed
+/// five-slot [`SHAPE_CORES`] array, so the whole family is a
+/// `Vec<[TaskQueue; 5]>` indexed by stage — every lookup is two array
+/// indexes, and iteration walks stages then shapes in exactly the
+/// `(stage, cores)` key order the old `BTreeMap` representation produced.
 #[derive(Debug, Clone)]
 pub struct QueueSet<T> {
-    queues: BTreeMap<TaskClass, TaskQueue<T>>,
+    stages: Vec<[TaskQueue<T>; N_SHAPES]>,
+    /// Total pending items across all queues (kept incrementally).
+    total: usize,
 }
 
 impl<T> Default for QueueSet<T> {
     fn default() -> Self {
-        QueueSet { queues: BTreeMap::new() }
+        QueueSet { stages: Vec::new(), total: 0 }
     }
 }
 
@@ -126,37 +155,70 @@ impl<T> QueueSet<T> {
 
     /// Pushes into (creating if needed) the class queue.
     pub fn push(&mut self, class: TaskClass, item: T, now: SimTime) {
-        self.queues.entry(class).or_default().push(item, now);
+        while self.stages.len() <= class.stage {
+            self.stages.push(std::array::from_fn(|_| TaskQueue::new()));
+        }
+        self.stages[class.stage][shape_slot(class.cores)].push(item, now);
+        self.total += 1;
     }
 
     /// Pops the oldest item of a class.
     pub fn pop(&mut self, class: TaskClass, now: SimTime) -> Option<(T, SimDuration)> {
-        self.queues.get_mut(&class)?.pop(now)
+        let popped = self.stages.get_mut(class.stage)?[shape_slot(class.cores)].pop(now);
+        if popped.is_some() {
+            self.total -= 1;
+        }
+        popped
     }
 
-    /// The queue for a class, if it exists.
+    /// The queue for a class, if its stage has ever been seen.
     pub fn get(&self, class: TaskClass) -> Option<&TaskQueue<T>> {
-        self.queues.get(&class)
+        Some(&self.stages.get(class.stage)?[shape_slot(class.cores)])
+    }
+
+    /// Number of stage rows allocated so far (stages are added lazily as
+    /// classes are first pushed).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Direct access to one `(stage, shape-slot)` queue, if allocated.
+    pub fn at(&self, stage: usize, slot: usize) -> Option<&TaskQueue<T>> {
+        Some(&self.stages.get(stage)?[slot])
     }
 
     /// Total pending items across classes.
     pub fn total_len(&self) -> usize {
-        self.queues.values().map(TaskQueue::len).sum()
+        self.total
+    }
+
+    /// Pending items for one shape slot across stages (demand on a
+    /// worker shape regardless of stage).
+    pub fn shape_len(&self, slot: usize) -> usize {
+        self.stages.iter().map(|row| row[slot].len()).sum()
     }
 
     /// Pending items for one stage across shapes.
     pub fn stage_len(&self, stage: usize) -> usize {
-        self.queues.iter().filter(|(c, _)| c.stage == stage).map(|(_, q)| q.len()).sum()
+        match self.stages.get(stage) {
+            Some(row) => row.iter().map(TaskQueue::len).sum(),
+            None => 0,
+        }
     }
 
-    /// Iterates `(class, queue)` pairs in key order (deterministic).
-    pub fn iter(&self) -> impl Iterator<Item = (&TaskClass, &TaskQueue<T>)> {
-        self.queues.iter()
+    /// Iterates `(class, queue)` pairs in key order (deterministic:
+    /// ascending stage, then ascending cores).
+    pub fn iter(&self) -> impl Iterator<Item = (TaskClass, &TaskQueue<T>)> {
+        self.stages.iter().enumerate().flat_map(|(stage, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(slot, q)| (TaskClass { stage, cores: SHAPE_CORES[slot] }, q))
+        })
     }
 
     /// Classes with at least one pending item, in key order.
     pub fn nonempty_classes(&self) -> Vec<TaskClass> {
-        self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(c, _)| *c).collect()
+        self.iter().filter(|(_, q)| !q.is_empty()).map(|(c, _)| c).collect()
     }
 }
 

@@ -22,11 +22,24 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
+impl<E> ScheduledEvent<E> {
+    /// The heap ordering key, packed into one integer compare: fire-time
+    /// bits in the high half, sequence number in the low half. `SimTime`
+    /// is always finite and non-negative, so the IEEE-754 bit pattern of
+    /// `at` orders exactly like the float itself — one branch-free `u128`
+    /// comparison replaces a float compare plus a tie-break (the heap's
+    /// sift loop is the simulator's single hottest comparison site).
+    #[inline]
+    fn key(&self) -> u128 {
+        ((self.at.as_tu().to_bits() as u128) << 64) | self.seq as u128
+    }
+}
+
 // BinaryHeap is a max-heap; reverse the ordering so the earliest instant
 // (and, within an instant, the lowest sequence number) is popped first.
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for ScheduledEvent<E> {}
@@ -36,8 +49,9 @@ impl<E> PartialOrd for ScheduledEvent<E> {
     }
 }
 impl<E> Ord for ScheduledEvent<E> {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -112,6 +126,31 @@ impl<E> Calendar<E> {
         Some(ev)
     }
 
+    /// Pops the next event *and every event simultaneous with it* into
+    /// `out` (cleared first), in (time, schedule-order) order, advancing
+    /// the clock once. Returns the number of events popped (zero when the
+    /// calendar is empty).
+    ///
+    /// Handlers that schedule new events at the popped instant while the
+    /// batch is being processed stay correctly ordered: the new events get
+    /// higher sequence numbers than everything in the batch, so the next
+    /// `pop_batch` at the same instant delivers them after the batch —
+    /// exactly where one-at-a-time popping would have placed them.
+    pub fn pop_batch(&mut self, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        out.clear();
+        let Some(first) = self.heap.pop() else {
+            return 0;
+        };
+        debug_assert!(first.at >= self.now);
+        self.now = first.at;
+        let at = first.at;
+        out.push(first);
+        while self.heap.peek().is_some_and(|e| e.at == at) {
+            out.push(self.heap.pop().expect("peeked non-empty"));
+        }
+        out.len()
+    }
+
     /// The fire time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
@@ -130,6 +169,12 @@ impl<E> Calendar<E> {
     /// Total number of events ever scheduled (diagnostic counter).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Pre-allocates room for at least `additional` more pending events,
+    /// so a simulation's steady-state backlog never re-heapifies mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Drops every pending event, keeping the clock where it is.

@@ -83,11 +83,22 @@ impl<E> Engine<E> {
     /// Runs to completion: pops events in order, dispatching each to
     /// `handler`, until the calendar is empty, the horizon is passed, or
     /// the handler halts.
+    ///
+    /// Simultaneous events are drained from the calendar in batches
+    /// ([`Calendar::pop_batch`]) and dispatched in schedule order — one
+    /// heap pop run per instant instead of a peek/pop pair per event.
+    /// Ordering is identical to one-at-a-time popping: events a handler
+    /// schedules at the current instant carry higher sequence numbers
+    /// than the whole in-flight batch, so they fire in the next batch at
+    /// the same instant.
     pub fn run<H>(&mut self, handler: &mut H) -> RunReport
     where
         H: EventHandler<Event = E>,
     {
         let mut dispatched = 0u64;
+        // Reused across batches; batches are small (simultaneous events
+        // only), so this stays at its high-water mark for the whole run.
+        let mut batch: Vec<crate::calendar::ScheduledEvent<E>> = Vec::new();
         loop {
             match self.calendar.peek_time() {
                 None => {
@@ -110,15 +121,17 @@ impl<E> Engine<E> {
                     }
                 }
             }
-            let ev = self.calendar.pop().expect("peeked non-empty");
-            dispatched += 1;
-            match handler.handle(ev.at, ev.event, &mut self.calendar) {
-                StepOutcome::Continue => {}
-                StepOutcome::Halt => {
-                    return RunReport {
-                        events_dispatched: dispatched,
-                        ended_at: self.calendar.now(),
-                        hit_horizon: false,
+            self.calendar.pop_batch(&mut batch);
+            for ev in batch.drain(..) {
+                dispatched += 1;
+                match handler.handle(ev.at, ev.event, &mut self.calendar) {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Halt => {
+                        return RunReport {
+                            events_dispatched: dispatched,
+                            ended_at: self.calendar.now(),
+                            hit_horizon: false,
+                        }
                     }
                 }
             }

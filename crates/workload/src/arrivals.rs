@@ -63,7 +63,7 @@ pub struct ArrivalProcess {
     config: ArrivalConfig,
     timing_rng: SimRng,
     size_rng: SimRng,
-    next_job_id: u64,
+    next_job_id: u32,
     next_at: SimTime,
 }
 
@@ -119,7 +119,7 @@ impl ArrivalProcess {
 
     /// Jobs generated so far.
     pub fn jobs_generated(&self) -> u64 {
-        self.next_job_id
+        self.next_job_id as u64
     }
 }
 
@@ -143,7 +143,7 @@ mod tests {
         let batches = p.batches_until(SimTime::new(100.0));
         assert!(!batches.is_empty());
         let mut last = SimTime::ZERO;
-        let mut expect_id = 0u64;
+        let mut expect_id = 0u32;
         for b in &batches {
             assert!(b.at >= last);
             last = b.at;

@@ -39,7 +39,7 @@ pub fn generate_profile_trace(
                     let factor = 1.0 + noise * rng.standard_normal();
                     let e_time = (truth * factor.max(0.1)).max(1e-3);
                     out.push(ProfileRecord {
-                        application: application.to_string(),
+                        application: application.to_string().into(),
                         stage: (stage_idx + 1) as u32,
                         input_gb: size_gb,
                         threads,

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Perf-trajectory recorder: runs the criterion benches and folds their
+# medians into a JSON ledger, so every PR's before/after numbers are
+# committed next to the code that produced them.
+#
+#   ./scripts/bench.sh                         run all benches, print JSON
+#   ./scripts/bench.sh --quick                 end-to-end session bench only
+#   ./scripts/bench.sh --label after --out BENCH_PR3.json
+#                                              merge this run into the
+#                                              ledger under "runs.after"
+#
+# The ledger file accumulates runs: {"runs": {"<label>": {...}}}. Each run
+# records, per benchmark, the mean seconds/iteration plus the derived
+# sessions/sec and ns/event for the end-to-end session benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+label="run"
+out=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) quick=1 ;;
+        --label) label="$2"; shift ;;
+        --out) out="$2"; shift ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+benches=(session)
+if [[ "$quick" == 0 ]]; then
+    benches+=(dispatch hiring)
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+for b in "${benches[@]}"; do
+    echo "==> cargo bench -p scan-bench --bench $b" >&2
+    cargo bench -p scan-bench --bench "$b" 2>/dev/null | tee -a "$raw" >&2
+done
+
+python3 - "$raw" "$label" "$out" <<'PY'
+import json, re, subprocess, sys
+
+raw_path, label, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+UNIT = {"ns": 1e-9, "µs": 1e-6, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+LINE = re.compile(
+    r"^(?P<name>\S+)\s+time:\s+\[(?P<min>[\d.]+) (?P<minu>\S+) "
+    r"(?P<mean>[\d.]+) (?P<meanu>\S+) (?P<max>[\d.]+) (?P<maxu>\S+)\]"
+    r"(?:\s+thrpt: (?P<rate>[\d.]+) ?(?P<ratesuf>G|M|K)? ?elem/s)?"
+)
+SUF = {"G": 1e9, "M": 1e6, "K": 1e3, None: 1.0}
+
+results = {}
+for line in open(raw_path):
+    m = LINE.match(line.strip())
+    if not m:
+        continue
+    mean_s = float(m["mean"]) * UNIT[m["meanu"]]
+    entry = {
+        "min_s": float(m["min"]) * UNIT[m["minu"]],
+        "mean_s": mean_s,
+        "max_s": float(m["max"]) * UNIT[m["maxu"]],
+    }
+    if m["rate"]:
+        # session benches report Throughput::Elements(events): the rate is
+        # events/sec, and events = rate × mean seconds.
+        events_per_s = float(m["rate"]) * SUF[m["ratesuf"]]
+        entry["events_per_s"] = events_per_s
+        if m["name"].startswith("session/full/"):
+            entry["sessions_per_s"] = 1.0 / mean_s
+            entry["ns_per_event"] = 1e9 / events_per_s
+    results[m["name"]] = entry
+
+commit = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip() or "unknown"
+
+run = {"commit": commit, "results": results}
+
+if out_path:
+    try:
+        ledger = json.load(open(out_path))
+    except (FileNotFoundError, json.JSONDecodeError):
+        ledger = {
+            "_comment": "End-to-end and per-subsystem bench medians per "
+            "labelled run; written by scripts/bench.sh.",
+            "runs": {},
+        }
+    ledger.setdefault("runs", {})[label] = run
+    with open(out_path, "w") as f:
+        json.dump(ledger, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path} (label: {label}, {len(results)} benchmarks)")
+else:
+    print(json.dumps(run, indent=2, sort_keys=True))
+PY

@@ -22,6 +22,9 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (bench smoke: harnesses must compile)"
+cargo bench --workspace --no-run --quiet
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Trace-driven figures: turn the simulator's JSONL surfaces into SVG.
+
+Stdlib-only (json + string formatting — no matplotlib), so it runs in the
+offline container. Two inputs, two figures (emit either or both):
+
+  --trace trace.jsonl        per-event session stream (fig4/fig5/sweep
+                             binaries, `--trace <path>`): queue depth over
+                             time (step line) + cumulative VM hires per
+                             tier on a second panel, sharing the time axis.
+  --cell-trace cells.jsonl   per-cell sweep summaries (`sweep --cell-trace
+                             <path>`): the scaling-decision mix of every
+                             grid cell as a normalised stacked bar.
+
+  python3 scripts/plot_traces.py --trace /tmp/trace.jsonl \
+      --cell-trace /tmp/cells.jsonl --out-dir plots/
+
+writes plots/session.svg and plots/decisions.svg. Field meanings are
+documented in docs/TRACE_SCHEMA.md; regenerate the inputs with
+
+  cargo run --release -p scan-bench --bin sweep -- \
+      --trace /tmp/trace.jsonl --cell-trace /tmp/cells.jsonl
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# ----------------------------------------------------------------------
+# Tiny SVG canvas
+# ----------------------------------------------------------------------
+
+FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+
+class Svg:
+    def __init__(self, width, height):
+        self.w, self.h = width, height
+        self.parts = [
+            f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+            f"height='{height}' viewBox='0 0 {width} {height}'>",
+            f"<rect width='{width}' height='{height}' fill='white'/>",
+        ]
+
+    def line(self, x1, y1, x2, y2, color="#888", width=1, dash=None):
+        d = f" stroke-dasharray='{dash}'" if dash else ""
+        self.parts.append(
+            f"<line x1='{x1:.1f}' y1='{y1:.1f}' x2='{x2:.1f}' y2='{y2:.1f}' "
+            f"stroke='{color}' stroke-width='{width}'{d}/>"
+        )
+
+    def polyline(self, pts, color, width=1.2):
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+        self.parts.append(
+            f"<polyline points='{path}' fill='none' stroke='{color}' "
+            f"stroke-width='{width}'/>"
+        )
+
+    def rect(self, x, y, w, h, color, title=None):
+        t = f"<title>{title}</title>" if title else ""
+        self.parts.append(
+            f"<rect x='{x:.1f}' y='{y:.1f}' width='{w:.2f}' height='{h:.1f}' "
+            f"fill='{color}'>{t}</rect>"
+        )
+
+    def text(self, x, y, s, size=11, color="#222", anchor="start", rotate=None):
+        r = f" transform='rotate({rotate} {x:.1f} {y:.1f})'" if rotate else ""
+        self.parts.append(
+            f"<text x='{x:.1f}' y='{y:.1f}' {FONT} font-size='{size}' "
+            f"fill='{color}' text-anchor='{anchor}'{r}>{s}</text>"
+        )
+
+    def write(self, path):
+        self.parts.append("</svg>")
+        with open(path, "w") as f:
+            f.write("\n".join(self.parts) + "\n")
+
+
+def ticks(lo, hi, n=5):
+    """~n round tick positions covering [lo, hi]."""
+    span = max(hi - lo, 1e-9)
+    raw = span / n
+    mag = 10 ** int(f"{raw:e}".split("e")[1])
+    step = next(s * mag for s in (1, 2, 5, 10) if s * mag >= raw)
+    t, out = (int(lo / step)) * step, []
+    while t <= hi + 1e-9:
+        if t >= lo - 1e-9:
+            out.append(t)
+        t += step
+    return out
+
+
+def fmt(v):
+    return f"{v:g}" if abs(v) < 1e5 else f"{v:.0e}"
+
+
+# ----------------------------------------------------------------------
+# Figure 1: session timeline (queue depth + cumulative hires per tier)
+# ----------------------------------------------------------------------
+
+TIER_NAMES = {0: "private", 1: "public"}
+TIER_COLORS = {0: "#1f77b4", 1: "#d62728"}
+
+
+def plot_session(trace_path, out_path):
+    depth, hires = [], {}  # [(t, depth)], tier -> [(t, cumulative)]
+    with open(trace_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            e = json.loads(line)
+            kind = e.get("kind")
+            if kind == "queue_depth":
+                depth.append((e["t"], e["depth"]))
+            elif kind == "vm_hired":
+                series = hires.setdefault(e["tier"], [])
+                series.append((e["t"], (series[-1][1] if series else 0) + 1))
+    if not depth and not hires:
+        print(f"no queue_depth/vm_hired events in {trace_path}", file=sys.stderr)
+        return False
+
+    W, H, ML, MR, MT, GAP = 860, 460, 62, 18, 30, 46
+    panel_h = (H - MT - GAP - 40) / 2
+    t_max = max(
+        [t for t, _ in depth] + [t for s in hires.values() for t, _ in s]
+    )
+    t_max = t_max or 1.0
+    sx = lambda t: ML + (W - ML - MR) * t / t_max
+
+    svg = Svg(W, H)
+    svg.text(ML, 18, f"Session timeline — {os.path.basename(trace_path)}", size=13)
+
+    # Panel 1: queue depth (step line over event-driven samples).
+    top1 = MT + 8
+    d_max = max((d for _, d in depth), default=1) or 1
+    sy1 = lambda d: top1 + panel_h * (1 - d / d_max)
+    for tv in ticks(0, d_max):
+        svg.line(ML, sy1(tv), W - MR, sy1(tv), "#eee")
+        svg.text(ML - 6, sy1(tv) + 4, fmt(tv), size=10, anchor="end")
+    # Event-driven samples can number in the hundreds of thousands; collapse
+    # them to a per-pixel-column min/max envelope so the SVG stays small and
+    # nothing a 1-px stroke could show is lost.
+    cols = {}
+    for t, d in depth:
+        px = round(sx(t))
+        lo, hi = cols.get(px, (d, d))
+        cols[px] = (min(lo, d), max(hi, d))
+    pts = []
+    for px in sorted(cols):
+        lo, hi = cols[px]
+        pts.append((px, sy1(lo)))
+        if hi != lo:
+            pts.append((px, sy1(hi)))
+    if pts:
+        svg.polyline(pts, "#2ca02c")
+    svg.text(ML, top1 - 4, "queued subtasks (all classes)", size=11, color="#2ca02c")
+
+    # Panel 2: cumulative hires per tier.
+    top2 = top1 + panel_h + GAP
+    h_max = max((s[-1][1] for s in hires.values()), default=1) or 1
+    sy2 = lambda n: top2 + panel_h * (1 - n / h_max)
+    for tv in ticks(0, h_max):
+        svg.line(ML, sy2(tv), W - MR, sy2(tv), "#eee")
+        svg.text(ML - 6, sy2(tv) + 4, fmt(tv), size=10, anchor="end")
+    for tier in sorted(hires):
+        series = hires[tier]
+        cols = {}  # cumulative count is monotone: last value per pixel wins
+        for t, n in series:
+            cols[round(sx(t))] = n
+        pts, last = [(sx(0), sy2(0))], 0
+        for px in sorted(cols):
+            pts.append((px, sy2(last)))
+            pts.append((px, sy2(cols[px])))
+            last = cols[px]
+        pts.append((sx(t_max), sy2(series[-1][1])))
+        color = TIER_COLORS.get(tier, "#555")
+        svg.polyline(pts, color)
+        label = TIER_NAMES.get(tier, f"tier {tier}")
+        svg.text(
+            ML + 150 * tier, top2 - 4,
+            f"{label}: {series[-1][1]} hires", size=11, color=color,
+        )
+    if not hires:
+        svg.text(ML, top2 - 4, "no vm_hired events", size=11, color="#999")
+
+    # Shared time axis.
+    axis_y = top2 + panel_h
+    svg.line(ML, axis_y, W - MR, axis_y, "#444")
+    for tv in ticks(0, t_max, 8):
+        svg.line(sx(tv), axis_y, sx(tv), axis_y + 4, "#444")
+        svg.text(sx(tv), axis_y + 16, fmt(tv), size=10, anchor="middle")
+    svg.text((ML + W - MR) / 2, axis_y + 32, "simulation time (TU)", anchor="middle")
+
+    svg.write(out_path)
+    print(f"wrote {out_path} ({len(depth)} depth samples, "
+          f"{sum(s[-1][1] for s in hires.values())} hires)")
+    return True
+
+
+# ----------------------------------------------------------------------
+# Figure 2: decision mix across the sweep grid (stacked bars)
+# ----------------------------------------------------------------------
+
+CHOICES = ["hire_private", "hire_public", "reshape", "throttled_private", "wait"]
+CHOICE_COLORS = {
+    "hire_private": "#1f77b4",
+    "hire_public": "#d62728",
+    "reshape": "#9467bd",
+    "throttled_private": "#ff7f0e",
+    "wait": "#bbbbbb",
+}
+
+
+def plot_decisions(cells_path, out_path):
+    cells = []
+    with open(cells_path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                cells.append(json.loads(line))
+    if not cells:
+        print(f"no cell lines in {cells_path}", file=sys.stderr)
+        return False
+
+    ROW, ML, MR, MT, MB = 16, 320, 90, 56, 24
+    W = 900
+    H = MT + ROW * len(cells) + MB
+    bar_w = W - ML - MR
+    svg = Svg(W, H)
+    svg.text(ML, 18, f"Scaling-decision mix per grid cell — "
+             f"{os.path.basename(cells_path)}", size=13)
+    for i, c in enumerate(CHOICES):  # legend
+        x = ML + i * 150
+        svg.rect(x, 26, 10, 10, CHOICE_COLORS[c])
+        svg.text(x + 14, 35, c, size=10)
+
+    for i, cell in enumerate(cells):
+        y = MT + i * ROW
+        counts = cell.get("stats", {}).get("decisions", {})
+        total = sum(counts.get(c, 0) for c in CHOICES)
+        label = (f'{cell.get("allocation", "?")} / {cell.get("scaling", "?")} '
+                 f'/ int {cell.get("interval", "?")} / {cell.get("reward", "?")} '
+                 f'/ p{cell.get("public_cost", "?")}')
+        svg.text(ML - 6, y + ROW - 5, label, size=9, anchor="end")
+        if total == 0:
+            svg.text(ML + 4, y + ROW - 5, "no decisions", size=9, color="#999")
+            continue
+        x = ML
+        for c in CHOICES:
+            n = counts.get(c, 0)
+            if n == 0:
+                continue
+            w = bar_w * n / total
+            svg.rect(x, y + 2, w, ROW - 4, CHOICE_COLORS[c],
+                     title=f"{label}: {c} = {n} ({100 * n / total:.1f}%)")
+            x += w
+        svg.text(W - MR + 6, y + ROW - 5, f"{total}", size=9, color="#555")
+
+    svg.text(W - MR + 6, MT - 6, "total", size=9, color="#555")
+    svg.write(out_path)
+    print(f"wrote {out_path} ({len(cells)} cells)")
+    return True
+
+
+# ----------------------------------------------------------------------
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--trace", help="per-event session JSONL (binaries' --trace)")
+    ap.add_argument("--cell-trace", help="per-cell sweep JSONL (sweep --cell-trace)")
+    ap.add_argument("--out-dir", default=".", help="directory for the SVGs")
+    args = ap.parse_args()
+    if not args.trace and not args.cell_trace:
+        ap.error("give --trace and/or --cell-trace")
+    os.makedirs(args.out_dir, exist_ok=True)
+    ok = True
+    if args.trace:
+        ok &= plot_session(args.trace, os.path.join(args.out_dir, "session.svg"))
+    if args.cell_trace:
+        ok &= plot_decisions(
+            args.cell_trace, os.path.join(args.out_dir, "decisions.svg")
+        )
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()
