@@ -17,13 +17,20 @@
 //!   never-scale collapses under saturation, always-scale pays the public
 //!   premium, predictive tracks the better baseline.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin fig4 [--quick] [--trace <path>]`
+//! Usage: `cargo run --release -p scan-bench --bin fig4 [--quick] [--trace <path>]
+//! [--metrics <path>] [--profile <path>]`
 //!
 //! `--trace <path>` additionally dumps the typed JSONL event trace of one
-//! representative session (predictive scaling, 2.0 TU interval).
+//! representative session (predictive scaling, 2.0 TU interval);
+//! `--metrics <path>` dumps that session's metrics registry (JSONL +
+//! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
+//! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::EXPERIMENT_SEED;
-use scan_bench::{dump_trace, pm, run_cell, trace_path_from_args, PAPER_REPETITIONS};
+use scan_bench::{
+    dump_instrumented, dump_trace, instrument_flags_from_args, pm, run_cell, trace_path_from_args,
+    PAPER_REPETITIONS,
+};
 use scan_platform::config::{ScanConfig, VariableParams};
 use scan_sched::scaling::ScalingPolicy;
 
@@ -63,11 +70,15 @@ fn main() {
     println!("  reward: time-based | public cost: 50 CU/TU | allocation: best-constant");
     println!("  horizon: {sim_time} TU | repetitions: {reps}");
 
-    if let Some(path) = trace_path_from_args() {
+    let (metrics_path, profile_path) = instrument_flags_from_args();
+    if trace_path_from_args().is_some() || metrics_path.is_some() || profile_path.is_some() {
         let mut cfg =
             ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.0), EXPERIMENT_SEED);
         cfg.fixed.sim_time_tu = sim_time;
-        dump_trace(&cfg, &path);
+        if let Some(path) = trace_path_from_args() {
+            dump_trace(&cfg, &path);
+        }
+        dump_instrumented(&cfg, metrics_path.as_deref(), profile_path.as_deref());
     }
 
     let paper: Vec<f64> = (0..=10).map(|i| 2.0 + 0.1 * i as f64).collect();

@@ -19,12 +19,19 @@
 //! added core-stage is applied — "the number of cores employed per
 //! pipeline run" rises one notch at a time.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin fig5 [--quick] [--trace <path>]`
+//! Usage: `cargo run --release -p scan-bench --bin fig5 [--quick] [--trace <path>]
+//! [--metrics <path>] [--profile <path>]`
 //!
 //! `--trace <path>` additionally dumps the typed JSONL event trace of one
-//! representative session (the first frontier plan), reshapes included.
+//! representative session (the first frontier plan), reshapes included;
+//! `--metrics <path>` dumps that session's metrics registry (JSONL +
+//! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
+//! self-profile as collapsed stacks and prints the self/total table.
 
-use scan_bench::{dump_trace, pm, trace_path_from_args, EXPERIMENT_SEED, PAPER_REPETITIONS};
+use scan_bench::{
+    dump_instrumented, dump_trace, instrument_flags_from_args, pm, trace_path_from_args,
+    EXPERIMENT_SEED, PAPER_REPETITIONS,
+};
 use scan_platform::config::{RewardKind, ScanConfig, VariableParams};
 use scan_platform::sweep::run_replicated;
 use scan_sched::alloc::AllocationPolicy;
@@ -63,7 +70,10 @@ fn main() {
         })
         .collect();
 
-    if let (Some(path), Some(plan)) = (trace_path_from_args(), picks.first()) {
+    let trace_path = trace_path_from_args();
+    let (metrics_path, profile_path) = instrument_flags_from_args();
+    let wants_dump = trace_path.is_some() || metrics_path.is_some() || profile_path.is_some();
+    if let (true, Some(plan)) = (wants_dump, picks.first()) {
         let mut cfg = ScanConfig::new(
             VariableParams {
                 allocation: AllocationPolicy::BestConstant,
@@ -77,7 +87,10 @@ fn main() {
         cfg.fixed.sim_time_tu = sim_time;
         cfg.allow_reshape = true;
         cfg.forced_plan = Some(plan.stages.clone());
-        dump_trace(&cfg, &path);
+        if let Some(path) = trace_path {
+            dump_trace(&cfg, &path);
+        }
+        dump_instrumented(&cfg, metrics_path.as_deref(), profile_path.as_deref());
     }
 
     println!(

@@ -26,9 +26,15 @@
 //! `--trace <path>` dumps the typed JSONL event trace of one
 //! representative session (the grid's first cell); `--cell-trace <path>`
 //! writes one JSONL line per grid cell (parameters + the merged
-//! [`DecisionStats`] payload — shape documented in `docs/TRACE_SCHEMA.md`).
+//! [`DecisionStats`] payload — shape documented in `docs/TRACE_SCHEMA.md`);
+//! `--metrics <path>` dumps the first cell's metrics registry (JSONL +
+//! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
+//! self-profile as collapsed stacks and prints the self/total table.
 
-use scan_bench::{dump_trace, path_flag_from_args, trace_path_from_args, EXPERIMENT_SEED};
+use scan_bench::{
+    dump_instrumented, dump_trace, instrument_flags_from_args, path_flag_from_args,
+    trace_path_from_args, EXPERIMENT_SEED,
+};
 use scan_platform::config::{ParameterGrid, ScanConfig};
 use scan_platform::observers::{DecisionStats, DecisionStatsFactory};
 use scan_platform::sweep::{sweep_grid_with, ObservedCell};
@@ -64,6 +70,8 @@ fn main() {
     if let Some(path) = trace_path_from_args() {
         dump_trace(&base, &path);
     }
+    let (metrics_path, profile_path) = instrument_flags_from_args();
+    dump_instrumented(&base, metrics_path.as_deref(), profile_path.as_deref());
 
     let results = sweep_grid_with(&base, &cells, reps, &DecisionStatsFactory);
 

@@ -23,10 +23,11 @@
 #![forbid(unsafe_code)]
 
 use scan_platform::config::{ScanConfig, VariableParams};
+use scan_platform::instrument::{run_session_instrumented, DEFAULT_WINDOW_TU};
 use scan_platform::metrics::ReplicatedMetrics;
 use scan_platform::session::run_session_traced;
 use scan_platform::sweep::run_replicated;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Default repetitions: the paper's "all measurements were repeated 10
 /// times".
@@ -82,5 +83,79 @@ pub fn dump_trace(cfg: &ScanConfig, path: &std::path::Path) {
             m.jobs_completed
         ),
         Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// The `--metrics <path>` / `--profile <path>` pair shared by the bench
+/// bins, parsed from argv.
+pub fn instrument_flags_from_args() -> (Option<PathBuf>, Option<PathBuf>) {
+    (path_flag_from_args("metrics"), path_flag_from_args("profile"))
+}
+
+/// Runs one instrumented representative session (repetition 0 of `cfg`)
+/// and writes its artefacts. Used by the bench bins' `--metrics` and
+/// `--profile` flags; like `--trace`, the instrumented run is separate
+/// from the measured repetitions, so tables are unaffected.
+///
+/// * `metrics_path` — the metrics registry as self-describing JSONL,
+///   plus a Prometheus text rendering at `<path>.prom`.
+/// * `profile_path` — flamegraph-compatible collapsed stacks of the
+///   run's wall-clock self-profile; the sorted self/total table goes to
+///   stdout.
+pub fn dump_instrumented(
+    cfg: &ScanConfig,
+    metrics_path: Option<&Path>,
+    profile_path: Option<&Path>,
+) {
+    if metrics_path.is_none() && profile_path.is_none() {
+        return;
+    }
+    let profile = profile_path.is_some();
+    if profile {
+        scan_sim::prof::enable();
+    }
+    let (_, registry, summary) = run_session_instrumented(cfg, 0, DEFAULT_WINDOW_TU, profile);
+    if let Some(path) = metrics_path {
+        let write = || -> std::io::Result<PathBuf> {
+            let mut jsonl = std::io::BufWriter::new(std::fs::File::create(path)?);
+            scan_metrics::write_jsonl(&registry, &mut jsonl)?;
+            std::io::Write::flush(&mut jsonl)?;
+            let mut prom_path = path.as_os_str().to_os_string();
+            prom_path.push(".prom");
+            let prom_path = PathBuf::from(prom_path);
+            let mut prom = std::io::BufWriter::new(std::fs::File::create(&prom_path)?);
+            scan_metrics::write_prometheus(&registry, &mut prom)?;
+            std::io::Write::flush(&mut prom)?;
+            Ok(prom_path)
+        };
+        match write() {
+            Ok(prom_path) => println!(
+                "metrics: wrote {} (+ {}): {} counters, {} histograms, {} series",
+                path.display(),
+                prom_path.display(),
+                registry.counters().len(),
+                registry.histograms().len(),
+                registry.series_entries().len(),
+            ),
+            Err(e) => eprintln!("metrics: failed to write {}: {e}", path.display()),
+        }
+    }
+    if let (Some(path), Some(summary)) = (profile_path, summary) {
+        let write = || -> std::io::Result<()> {
+            let mut collapsed = std::io::BufWriter::new(std::fs::File::create(path)?);
+            summary.write_collapsed(&mut collapsed)?;
+            std::io::Write::flush(&mut collapsed)?;
+            Ok(())
+        };
+        match write() {
+            Ok(()) => {
+                println!("profile: wrote collapsed stacks to {}", path.display());
+                let mut table = Vec::new();
+                if summary.write_table(&mut table).is_ok() {
+                    print!("{}", String::from_utf8_lossy(&table));
+                }
+            }
+            Err(e) => eprintln!("profile: failed to write {}: {e}", path.display()),
+        }
     }
 }

@@ -5,8 +5,24 @@
 use crate::instance::InstanceSize;
 use crate::tier::{BillingMode, TierCatalog, TierId};
 use crate::vm::{Vm, VmId, VmState};
+use scan_metrics::{CounterId, HistogramId, Metrics};
 use scan_sim::{SimDuration, SimTime, TraceEvent, Tracer};
 use std::fmt;
+
+/// Metric ids the provider records through (present only when a metrics
+/// registry is attached; see [`CloudProvider::set_metrics`]).
+#[derive(Debug, Clone)]
+struct ProviderMeters {
+    metrics: Metrics,
+    /// `vm_hired_total{tier}`, one id per tier in catalogue order.
+    hired: Vec<CounterId>,
+    /// `vm_released_total{tier}`, one id per tier in catalogue order.
+    released: Vec<CounterId>,
+    /// `vm_reshaped_total` (reshapes are private-tier only in practice).
+    reshaped: CounterId,
+    /// `vm_reshape_penalty_tu`: boot penalty paid per reshape.
+    reshape_penalty: HistogramId,
+}
 
 /// Why a hire request failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +71,8 @@ pub struct CloudProvider {
     hired_total: u64,
     /// Lifecycle event sink (disabled by default; see [`Tracer`]).
     tracer: Tracer,
+    /// Metric ids (absent unless a registry is attached).
+    meters: Option<ProviderMeters>,
 }
 
 impl CloudProvider {
@@ -71,6 +89,7 @@ impl CloudProvider {
             settled_core_tu_by_tier: vec![0.0; n],
             hired_total: 0,
             tracer: Tracer::disabled(),
+            meters: None,
         }
     }
 
@@ -78,6 +97,46 @@ impl CloudProvider {
     /// observers. The provider emits; it never reads the trace.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a metrics registry: the provider registers per-tier
+    /// hire/release counters, a reshape counter and the reshape-penalty
+    /// histogram, and records into them on every lifecycle transition.
+    /// A disabled handle leaves the provider un-instrumented.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let names: Vec<String> = self.catalog.iter().map(|(_, t)| t.name.clone()).collect();
+        let registered = metrics.with_registry(|r| {
+            let hired = names
+                .iter()
+                .map(|n| r.counter("vm_hired_total", "tier", n, "1", "VMs hired, by tier"))
+                .collect();
+            let released = names
+                .iter()
+                .map(|n| r.counter("vm_released_total", "tier", n, "1", "VMs released, by tier"))
+                .collect();
+            let reshaped =
+                r.counter("vm_reshaped_total", "", "", "1", "Idle-VM reshape operations");
+            let reshape_penalty = r.histogram(
+                "vm_reshape_penalty_tu",
+                "",
+                "",
+                "tu",
+                "Boot penalty paid per reshape (ready time minus reshape time)",
+            );
+            (hired, released, reshaped, reshape_penalty)
+        });
+        if let Some((hired, released, reshaped, reshape_penalty)) = registered {
+            self.meters = Some(ProviderMeters {
+                metrics: metrics.clone(),
+                hired,
+                released,
+                reshaped,
+                reshape_penalty,
+            });
+        }
     }
 
     /// The tier catalogue.
@@ -140,6 +199,9 @@ impl CloudProvider {
             now,
             TraceEvent::VmHired { vm: id.0 as u64, tier: tier.0 as u32, cores: size.cores() },
         );
+        if let Some(m) = &self.meters {
+            m.metrics.counter_add(m.hired[tier.0], 1);
+        }
         Ok((id, ready_at))
     }
 
@@ -168,6 +230,9 @@ impl CloudProvider {
         self.live.remove(pos);
         self.tracer
             .emit(now, TraceEvent::VmReleased { vm: id.0 as u64, tier: tier.0 as u32, cores });
+        if let Some(m) = &self.meters {
+            m.metrics.counter_add(m.released[tier.0], 1);
+        }
     }
 
     /// Reshapes an idle VM to `new_size` (paying the boot penalty).
@@ -204,6 +269,10 @@ impl CloudProvider {
                 cores_to: new,
             },
         );
+        if let Some(m) = &self.meters {
+            m.metrics.counter_add(m.reshaped, 1);
+            m.metrics.record(m.reshape_penalty, (ready - now).as_tu());
+        }
         Ok(ready)
     }
 

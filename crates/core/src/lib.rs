@@ -20,12 +20,17 @@
 //! * [`session`] — one seeded simulation run; [`sweep`] — rayon-parallel
 //!   replication and parameter grids, with per-session observers built
 //!   through the `Send`-capable factory bridge.
+//! * [`instrument`] — sessions with a [`scan_metrics`] registry attached
+//!   (histograms, counters, windowed series across every subsystem) and
+//!   an optional wall-clock self-profile, merged deterministically across
+//!   parallel repetitions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod broker;
 pub mod config;
+pub mod instrument;
 pub mod metrics;
 pub mod observers;
 pub mod platform;

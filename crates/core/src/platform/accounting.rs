@@ -39,6 +39,9 @@ impl Platform {
             );
         }
         self.tracer.emit(ended_at, TraceEvent::RunEnded { events_dispatched: events });
+        // Close the windowed metric series at the horizon so partial
+        // trailing windows are flushed before the registry is read.
+        self.metrics.finish_windows(ended_at.as_tu());
         let metrics = self.aggregator.borrow().finalize();
         metrics
     }

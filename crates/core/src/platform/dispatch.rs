@@ -7,7 +7,7 @@ use scan_cloud::vm::VmId;
 use scan_kb::ProfileRecord;
 use scan_sched::alloc::AllocationPolicy;
 use scan_sched::queue::{TaskClass, SHAPE_CORES};
-use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
+use scan_sim::{prof, Calendar, SimDuration, SimTime, TraceEvent};
 use scan_workload::job::JobId;
 use std::borrow::Cow;
 
@@ -25,6 +25,7 @@ impl Platform {
     /// loop enqueues new subtasks, so reading lengths live is equivalent
     /// to snapshotting them up front.
     pub(super) fn dispatch(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        prof::scope!("dispatch");
         for stage in 0..self.queues.n_stages() {
             for (slot, &cores) in SHAPE_CORES.iter().enumerate() {
                 if self.queues.at(stage, slot).map(|q| q.is_empty()).unwrap_or(true) {
@@ -82,6 +83,11 @@ impl Platform {
         debug_assert_eq!(run.stage, stage, "stage mismatch in completion event");
         run.outstanding -= 1;
         if run.outstanding == 0 {
+            // The broker gathers this stage's shards back into one dataset.
+            let (shards, _) = run.plan.stage(stage);
+            if let Some(mm) = &self.meters {
+                mm.metrics.record(mm.merge_fanout, shards as f64);
+            }
             run.stage += 1;
             if run.stage == run.plan.n_stages() {
                 let run = self.jobs.remove(job.slot()).expect("just present");
@@ -100,9 +106,13 @@ impl Platform {
         now: SimTime,
         cal: &mut Calendar<Event>,
     ) {
+        prof::scope!("assign");
         let (subtask, wait) =
             self.queues.pop(class, now).expect("assign called with non-empty queue");
         self.estimator.queue_times_mut().observe(class.stage, wait.as_tu());
+        if let Some(mm) = &self.meters {
+            mm.metrics.record(mm.queue_wait[class.stage], wait.as_tu());
+        }
 
         let run = self.jobs.get(subtask.job.slot()).expect("queued subtask has a live job");
         let (shards, threads) = run.plan.stage(run.stage);
@@ -133,6 +143,9 @@ impl Platform {
             }
         }
 
+        if let Some(mm) = &self.meters {
+            mm.metrics.record(mm.service_time[stage], duration.as_tu());
+        }
         let vm = self.provider.vm_mut(vm_id).expect("idle VM exists");
         vm.start_task(now);
         let done_at = now + duration;

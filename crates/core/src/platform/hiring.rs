@@ -3,13 +3,14 @@
 //! reshape-instead-of-hire for heterogeneous configurations.
 
 use super::events::Event;
+use super::meters::ChoiceMeter;
 use super::Platform;
 use scan_cloud::instance::InstanceSize;
 use scan_cloud::vm::{boot_penalty, VmId};
 use scan_sched::delay_cost::{delay_cost, QueuedJobView};
 use scan_sched::queue::{TaskClass, SHAPE_CORES};
 use scan_sched::scaling::{ScalingContext, ScalingDecision};
-use scan_sim::{Calendar, ScalingChoice, SimTime, TraceEvent};
+use scan_sim::{prof, Calendar, ScalingChoice, SimTime, TraceEvent};
 
 /// The scalar inputs of one scaling decision (everything except the
 /// queue view, which lives in the platform's scratch buffer).
@@ -35,6 +36,7 @@ impl Platform {
         now: SimTime,
         cal: &mut Calendar<Event>,
     ) -> bool {
+        prof::scope!("try_grow");
         let size = InstanceSize::new(class.cores).expect("class cores are instance sizes");
 
         // Heterogeneous configuration: reshape an idle worker of another
@@ -68,6 +70,9 @@ impl Platform {
                             hire_cost: f64::NAN,
                             choice: ScalingChoice::Reshape,
                         });
+                        if let Some(mm) = &self.meters {
+                            mm.metrics.counter_add(mm.choice[ChoiceMeter::Reshape as usize], 1);
+                        }
                         cal.schedule(ready_at, Event::VmReady(vm_id));
                         return true;
                     }
@@ -92,7 +97,8 @@ impl Platform {
             expected_task_tu: inputs.expected_task_tu,
             reward: self.reward,
         };
-        let decision = self.cfg.variable.scaling.decide_traced(&ctx, now, &self.tracer);
+        let (decision, costs) =
+            self.cfg.variable.scaling.decide_priced_traced(&ctx, now, &self.tracer);
         let tier = match decision {
             ScalingDecision::HirePrivate => {
                 // "Just enough and just on time" (§I): even free private
@@ -121,13 +127,42 @@ impl Platform {
                                 choice: ScalingChoice::ThrottledPrivate,
                             },
                         );
+                        if let Some(mm) = &self.meters {
+                            mm.metrics
+                                .counter_add(mm.choice[ChoiceMeter::ThrottledPrivate as usize], 1);
+                            mm.metrics.record(mm.margin_wait, (dc - hire_cost).abs());
+                        }
                         return false;
                     }
+                    if let Some(mm) = &self.meters {
+                        mm.metrics.record(mm.margin_hire, (dc - hire_cost).abs());
+                    }
+                }
+                if let Some(mm) = &self.meters {
+                    mm.metrics.counter_add(mm.choice[ChoiceMeter::HirePrivate as usize], 1);
                 }
                 self.private_tier
             }
-            ScalingDecision::HirePublic => self.public_tier,
-            ScalingDecision::Wait => return false,
+            ScalingDecision::HirePublic => {
+                if let Some(mm) = &self.meters {
+                    mm.metrics.counter_add(mm.choice[ChoiceMeter::HirePublic as usize], 1);
+                    if costs.delay_cost.is_finite() {
+                        mm.metrics
+                            .record(mm.margin_hire, (costs.delay_cost - costs.hire_cost).abs());
+                    }
+                }
+                self.public_tier
+            }
+            ScalingDecision::Wait => {
+                if let Some(mm) = &self.meters {
+                    mm.metrics.counter_add(mm.choice[ChoiceMeter::Wait as usize], 1);
+                    if costs.delay_cost.is_finite() {
+                        mm.metrics
+                            .record(mm.margin_wait, (costs.delay_cost - costs.hire_cost).abs());
+                    }
+                }
+                return false;
+            }
         };
         match self.provider.hire_on(tier, size, now) {
             Ok((vm_id, ready_at)) => {
@@ -146,6 +181,7 @@ impl Platform {
     /// per-job dedup is a stamp array over the job-id space (bumping the
     /// stamp clears it in O(1) — no per-fill set rebuild).
     pub(super) fn fill_queue_view(&mut self, class: TaskClass, skip: usize, now: SimTime) {
+        prof::scope!("queue_view");
         self.scaling_scratch.clear();
         self.scaling_stamp = self.scaling_stamp.wrapping_add(1);
         if self.scaling_stamp == 0 {

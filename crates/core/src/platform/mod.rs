@@ -37,6 +37,7 @@ mod dispatch;
 mod events;
 mod hiring;
 mod lifecycle;
+mod meters;
 mod state;
 #[cfg(test)]
 mod tests;
@@ -48,8 +49,10 @@ use crate::broker::DataBroker;
 use crate::config::ScanConfig;
 use crate::metrics::SessionMetrics;
 use events::JobRun;
+use meters::PlatformMeters;
 use scan_cloud::provider::CloudProvider;
 use scan_cloud::tier::{BillingMode, Tier, TierCatalog, TierId};
+use scan_metrics::Metrics;
 use scan_sched::alloc::{AllocationPolicy, Allocator};
 use scan_sched::delay_cost::QueuedJobView;
 use scan_sched::estimate::EttEstimator;
@@ -57,7 +60,8 @@ use scan_sched::learned::EpsilonGreedyPlanner;
 use scan_sched::plan::candidate_plans;
 use scan_sched::queue::{QueueSet, TaskClass};
 use scan_sim::{
-    Calendar, Engine, EventHandler, ObserverHandle, RngHub, SimRng, SimTime, StepOutcome, Tracer,
+    prof, Calendar, Engine, EventHandler, ObserverHandle, RngHub, SimRng, SimTime, StepOutcome,
+    Tracer,
 };
 use scan_workload::arrivals::ArrivalProcess;
 use scan_workload::gatk::PipelineModel;
@@ -118,6 +122,14 @@ pub struct Platform {
     // --- observability ---
     tracer: Tracer,
     aggregator: Rc<RefCell<MetricsAggregator>>,
+    /// Quantitative metrics registry handle (disabled by default; see
+    /// [`Platform::set_metrics`]). Distinct from the trace layer: metrics
+    /// are aggregates, traces are the event narration.
+    metrics: Metrics,
+    /// The platform's registered metric ids; `None` until `set_metrics`.
+    meters: Option<PlatformMeters>,
+    /// Last sampled cumulative cost per tier, for the spend-rate series.
+    last_tier_cost: [f64; 2],
     /// Scratch for the Eq. 1 queue view, reused across scaling decisions
     /// so the dispatch hot path allocates nothing per event (DESIGN §7).
     scaling_scratch: Vec<QueuedJobView>,
@@ -224,6 +236,9 @@ impl Platform {
             completed: 0,
             tracer,
             aggregator,
+            metrics: Metrics::disabled(),
+            meters: None,
+            last_tier_cost: [0.0; 2],
             scaling_scratch: Vec::new(),
             scaling_seen: Vec::new(),
             scaling_stamp: 0,
@@ -245,6 +260,7 @@ impl Platform {
         self.provider.set_tracer(self.tracer.clone());
         let horizon = SimTime::new(self.cfg.fixed.sim_time_tu);
         let mut engine: Engine<Event> = Engine::with_horizon(horizon);
+        engine.set_metrics(&self.metrics);
         let cal = engine.calendar_mut();
         // Pre-size the heap for the steady-state backlog (one completion
         // per in-flight subtask plus the periodic ticks) so it never
@@ -264,13 +280,26 @@ impl EventHandler for Platform {
 
     fn handle(&mut self, now: SimTime, event: Event, cal: &mut Calendar<Event>) -> StepOutcome {
         match event {
-            Event::Arrival => self.on_arrival(now, cal),
-            Event::VmReady(vm) => self.on_vm_ready(now, vm, cal),
+            Event::Arrival => {
+                prof::scope!("arrival");
+                self.on_arrival(now, cal)
+            }
+            Event::VmReady(vm) => {
+                prof::scope!("vm_ready");
+                self.on_vm_ready(now, vm, cal)
+            }
             Event::SubtaskDone { job, stage, vm } => {
+                prof::scope!("subtask_done");
                 self.on_subtask_done(now, job, stage as usize, vm, cal)
             }
-            Event::IdleSweep => self.on_idle_sweep(now, cal),
-            Event::Replan => self.on_replan(now, cal),
+            Event::IdleSweep => {
+                prof::scope!("idle_sweep");
+                self.on_idle_sweep(now, cal)
+            }
+            Event::Replan => {
+                prof::scope!("replan");
+                self.on_replan(now, cal)
+            }
         }
         StepOutcome::Continue
     }

@@ -1,0 +1,259 @@
+//! Exporters: JSONL snapshots and Prometheus text exposition.
+//!
+//! Both walk the registry in registration order and format floats with
+//! Rust's shortest-roundtrip `Display`, so the bytes are a pure function
+//! of the registry contents — the foundation of the thread-count
+//! determinism guarantee.
+
+use std::io::{self, Write};
+
+use crate::hist::Log2Histogram;
+use crate::registry::{MetricMeta, Registry};
+
+/// Writes the registry as JSONL: one self-describing object per metric
+/// instance, in registration order.
+pub fn write_jsonl<W: Write>(reg: &Registry, mut w: W) -> io::Result<()> {
+    let mut line = String::with_capacity(256);
+    for (m, v) in reg.counters() {
+        line.clear();
+        open(&mut line, m, "counter");
+        line.push_str(",\"value\":");
+        push_u64(&mut line, *v);
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for (m, v) in reg.gauges() {
+        line.clear();
+        open(&mut line, m, "gauge");
+        line.push_str(",\"value\":");
+        push_f64(&mut line, *v);
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for (m, h) in reg.histograms() {
+        line.clear();
+        open(&mut line, m, "histogram");
+        line.push_str(",\"count\":");
+        push_u64(&mut line, h.count());
+        line.push_str(",\"sum\":");
+        push_f64(&mut line, h.sum());
+        line.push_str(",\"buckets\":[");
+        let mut first = true;
+        for (le, n) in h.nonzero() {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str("{\"le\":");
+            push_f64(&mut line, le);
+            line.push_str(",\"n\":");
+            push_u64(&mut line, n);
+            line.push('}');
+        }
+        line.push_str("]}");
+        writeln!(w, "{line}")?;
+    }
+    for (m, s) in reg.series_entries() {
+        line.clear();
+        open(&mut line, m, "series");
+        line.push_str(",\"kind\":\"");
+        line.push_str(s.kind().name());
+        line.push_str("\",\"window_tu\":");
+        push_f64(&mut line, s.window_tu());
+        line.push_str(",\"points\":[");
+        for (i, v) in s.values().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_f64(&mut line, *v);
+        }
+        line.push_str("]}");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes the registry in Prometheus text exposition format (version
+/// 0.0.4). Histograms get cumulative `le` buckets plus `+Inf`, `_sum`
+/// and `_count`; series are flattened to a `<family>_mean` gauge holding
+/// the overall weighted mean (the per-window points live in the JSONL
+/// snapshot — text exposition has no native series type).
+pub fn write_prometheus<W: Write>(reg: &Registry, mut w: W) -> io::Result<()> {
+    let mut last_family = String::new();
+    for (m, v) in reg.counters() {
+        header(&mut w, &mut last_family, &m.family, "counter", m)?;
+        writeln!(w, "{}{} {}", m.family, labels(m), v)?;
+    }
+    for (m, v) in reg.gauges() {
+        header(&mut w, &mut last_family, &m.family, "gauge", m)?;
+        writeln!(w, "{}{} {}", m.family, labels(m), v)?;
+    }
+    for (m, h) in reg.histograms() {
+        header(&mut w, &mut last_family, &m.family, "histogram", m)?;
+        let mut cum = 0u64;
+        for (i, &n) in h.buckets().iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            writeln!(
+                w,
+                "{}_bucket{} {}",
+                m.family,
+                labels_with(m, "le", &fmt_f64(Log2Histogram::upper_bound(i))),
+                cum
+            )?;
+        }
+        writeln!(w, "{}_bucket{} {}", m.family, labels_with(m, "le", "+Inf"), h.count())?;
+        writeln!(w, "{}_sum{} {}", m.family, labels(m), h.sum())?;
+        writeln!(w, "{}_count{} {}", m.family, labels(m), h.count())?;
+    }
+    for (m, s) in reg.series_entries() {
+        let fam = format!("{}_mean", m.family);
+        header(&mut w, &mut last_family, &fam, "gauge", m)?;
+        writeln!(w, "{}{} {}", fam, labels(m), s.overall_mean())?;
+    }
+    Ok(())
+}
+
+fn header<W: Write>(
+    w: &mut W,
+    last: &mut String,
+    family: &str,
+    kind: &str,
+    m: &MetricMeta,
+) -> io::Result<()> {
+    if last == family {
+        return Ok(());
+    }
+    writeln!(w, "# HELP {family} {}", m.help)?;
+    writeln!(w, "# TYPE {family} {kind}")?;
+    last.clear();
+    last.push_str(family);
+    Ok(())
+}
+
+fn labels(m: &MetricMeta) -> String {
+    if m.label_key.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}=\"{}\"}}", m.label_key, m.label_value)
+    }
+}
+
+fn labels_with(m: &MetricMeta, extra_key: &str, extra_value: &str) -> String {
+    if m.label_key.is_empty() {
+        format!("{{{extra_key}=\"{extra_value}\"}}")
+    } else {
+        format!("{{{}=\"{}\",{extra_key}=\"{extra_value}\"}}", m.label_key, m.label_value)
+    }
+}
+
+fn open(line: &mut String, m: &MetricMeta, ty: &str) {
+    line.push_str("{\"metric\":\"");
+    line.push_str(&m.family);
+    line.push('"');
+    if !m.label_key.is_empty() {
+        line.push_str(",\"labels\":{\"");
+        line.push_str(m.label_key);
+        line.push_str("\":\"");
+        line.push_str(&m.label_value);
+        line.push_str("\"}");
+    }
+    line.push_str(",\"type\":\"");
+    line.push_str(ty);
+    line.push_str("\",\"unit\":\"");
+    line.push_str(m.unit);
+    line.push_str("\",\"help\":\"");
+    line.push_str(m.help);
+    line.push('"');
+}
+
+fn push_u64(line: &mut String, v: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(line, "{v}");
+}
+
+fn push_f64(line: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        let _ = write!(line, "{v}");
+    } else {
+        // JSON has no inf/nan literals; null keeps the line parseable.
+        line.push_str("null");
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::series::SeriesKind;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new(5.0);
+        let c = r.counter("vm_hired_total", "tier", "private", "1", "VMs hired per tier");
+        let h = r.histogram("dispatch_queue_wait_tu", "stage", "0", "tu", "Queue wait per stage");
+        let s = r.series(
+            SeriesKind::TimeWeightedMean,
+            "vm_utilisation",
+            "",
+            "",
+            "ratio",
+            "Busy over hired cores",
+        );
+        r.counter_add(c, 3);
+        r.record(h, 0.75);
+        r.record(h, 3.0);
+        r.sample(s, 0.0, 0.5);
+        r.finish(10.0);
+        r
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_describing_and_parseable_shapes() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_registry(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"metric\":\"vm_hired_total\",\"labels\":{\"tier\":\"private\"},\
+             \"type\":\"counter\",\"unit\":\"1\",\"help\":\"VMs hired per tier\",\"value\":3}"
+        );
+        assert!(lines[1].contains("\"count\":2"));
+        assert!(lines[1].contains("{\"le\":1,\"n\":1}"));
+        assert!(lines[1].contains("{\"le\":4,\"n\":1}"));
+        assert!(lines[2].contains("\"kind\":\"time_weighted_mean\""));
+        assert!(lines[2].contains("\"points\":[0.5,0.5]"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_with_inf_sum_count() {
+        let mut buf = Vec::new();
+        write_prometheus(&sample_registry(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE vm_hired_total counter"));
+        assert!(text.contains("vm_hired_total{tier=\"private\"} 3"));
+        assert!(text.contains("dispatch_queue_wait_tu_bucket{stage=\"0\",le=\"1\"} 1"));
+        assert!(text.contains("dispatch_queue_wait_tu_bucket{stage=\"0\",le=\"4\"} 2"));
+        assert!(text.contains("dispatch_queue_wait_tu_bucket{stage=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("dispatch_queue_wait_tu_sum{stage=\"0\"} 3.75"));
+        assert!(text.contains("dispatch_queue_wait_tu_count{stage=\"0\"} 2"));
+        assert!(text.contains("vm_utilisation_mean 0.5"));
+    }
+
+    #[test]
+    fn export_bytes_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_jsonl(&sample_registry(), &mut a).unwrap();
+        write_jsonl(&sample_registry(), &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

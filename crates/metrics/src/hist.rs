@@ -1,0 +1,204 @@
+//! Log2-bucketed histograms.
+//!
+//! Bucket boundaries are powers of two, derived straight from the IEEE-754
+//! exponent field — recording a sample is a handful of integer ops with no
+//! search, no float comparison ladder, and no allocation. The bucket array
+//! is fixed-size, so a histogram is `Copy`-free but heap-free, and merging
+//! two histograms is an element-wise integer add (exact, order-free for
+//! the counts).
+
+/// Smallest kept binary exponent: values below `2^EXP_MIN` land in the
+/// lowest power-of-two bucket.
+const EXP_MIN: i32 = -64;
+/// Largest kept binary exponent: values at `2^(EXP_MAX+1)` and beyond
+/// land in the highest bucket.
+const EXP_MAX: i32 = 63;
+
+/// Number of buckets: one zero/non-positive bucket plus one per kept
+/// binary exponent (`EXP_MIN..=EXP_MAX`).
+pub const N_BUCKETS: usize = (EXP_MAX - EXP_MIN + 1) as usize + 1;
+
+/// `2^e` built from bits (exact; valid for normal-range exponents).
+fn pow2(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e));
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// A histogram over positive reals with power-of-two bucket boundaries.
+///
+/// Bucket 0 collects non-positive (and NaN) samples; bucket `k ≥ 1`
+/// collects samples in `[2^e, 2^(e+1))` for `e = EXP_MIN + k − 1`, with
+/// the extreme buckets absorbing under/overflow. `count` and `sum` track
+/// the full stream, so means stay exact even though bucket membership is
+/// quantised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Log2Histogram {
+    count: u64,
+    sum: f64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram { count: 0, sum: 0.0, buckets: [0; N_BUCKETS] }
+    }
+
+    /// The bucket a value falls into. Non-positive (and NaN) values map
+    /// to bucket 0; positive values map by binary exponent, clamped to
+    /// the kept range.
+    pub fn bucket_index(value: f64) -> usize {
+        if value <= 0.0 || value.is_nan() {
+            return 0;
+        }
+        // Biased exponent 0 (subnormals) yields −1023, far below EXP_MIN,
+        // so the clamp handles it; ±inf yields +1024, above EXP_MAX.
+        let e = ((value.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        (e.clamp(EXP_MIN, EXP_MAX) - EXP_MIN) as usize + 1
+    }
+
+    /// Inclusive upper bound of a bucket (Prometheus `le` semantics up to
+    /// the open/closed edge; the lowest bucket's bound is 0). The bounds
+    /// are strictly increasing in the bucket index.
+    pub fn upper_bound(index: usize) -> f64 {
+        assert!(index < N_BUCKETS);
+        if index == 0 {
+            0.0
+        } else {
+            pow2(EXP_MIN + index as i32)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket counts, lowest bucket first.
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::upper_bound(i), n))
+    }
+
+    /// Folds another histogram in: counts add exactly; the sample sum
+    /// adds in call order (merge in a fixed order for bit-stable sums).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_land_in_power_of_two_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(0.75); // [2^-1, 2^0)
+        h.record(1.0); // [2^0, 2^1)
+        h.record(1.5);
+        h.record(3.0); // [2^1, 2^2)
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 6.25).abs() < 1e-12);
+        let nz: Vec<(f64, u64)> = h.nonzero().collect();
+        assert_eq!(nz, vec![(1.0, 1), (2.0, 2), (4.0, 1)]);
+    }
+
+    #[test]
+    fn zero_negative_and_nan_take_the_floor_bucket() {
+        let mut h = Log2Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        assert_eq!(h.buckets()[0], 3);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn extremes_clamp_to_edge_buckets() {
+        assert_eq!(Log2Histogram::bucket_index(1e-300), 1);
+        assert_eq!(Log2Histogram::bucket_index(f64::MIN_POSITIVE / 4.0), 1);
+        assert_eq!(Log2Histogram::bucket_index(1e300), N_BUCKETS - 1);
+        assert_eq!(Log2Histogram::bucket_index(f64::INFINITY), N_BUCKETS - 1);
+    }
+
+    proptest! {
+        /// Bucket upper bounds are strictly monotone — the boundary
+        /// invariant every quantile/exposition consumer relies on.
+        #[test]
+        fn prop_bucket_bounds_are_monotone(i in 0usize..N_BUCKETS - 1) {
+            prop_assert!(Log2Histogram::upper_bound(i) < Log2Histogram::upper_bound(i + 1));
+        }
+
+        /// Every positive sample falls inside its bucket's bounds.
+        #[test]
+        fn prop_samples_respect_their_bounds(v in 1e-12f64..1e12) {
+            let i = Log2Histogram::bucket_index(v);
+            prop_assert!(i >= 1);
+            prop_assert!(v < Log2Histogram::upper_bound(i));
+            if i > 1 {
+                prop_assert!(v >= Log2Histogram::upper_bound(i - 1));
+            }
+        }
+
+        /// Merge is associative: (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c). Counts are
+        /// integer-exact; the sample sum matches to f64 tolerance (its
+        /// addition order differs between the two groupings).
+        #[test]
+        fn prop_merge_is_associative(
+            xs in proptest::collection::vec(0.0f64..1e6, 0..20),
+            ys in proptest::collection::vec(0.0f64..1e6, 0..20),
+            zs in proptest::collection::vec(0.0f64..1e6, 0..20),
+        ) {
+            let h = |vals: &[f64]| {
+                let mut h = Log2Histogram::new();
+                for &v in vals { h.record(v); }
+                h
+            };
+            let (a, b, c) = (h(&xs), h(&ys), h(&zs));
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.buckets(), right.buckets());
+            let scale = left.sum().abs().max(1.0);
+            prop_assert!((left.sum() - right.sum()).abs() <= 1e-9 * scale);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The metric registry: typed ids into dense storage.
+//!
+//! Registration happens once at wiring time and returns a small `Copy` id
+//! (an index into a dense `Vec`); the hot path then updates through the id
+//! with no hashing, no string work, and no allocation. Registration is
+//! idempotent by `(family, label)` so independent subsystems can ask for
+//! the same metric and share storage.
+
+use crate::hist::Log2Histogram;
+use crate::series::{SeriesKind, WindowedSeries};
+
+/// Identity and documentation of one metric instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricMeta {
+    /// Metric family name (`snake_case`, e.g. `vm_hired_total`).
+    pub family: String,
+    /// Label key, or `""` for an unlabelled metric.
+    pub label_key: &'static str,
+    /// Label value (empty when unlabelled).
+    pub label_value: String,
+    /// Unit of the recorded values (e.g. `"tu"`, `"cores"`, `"1"`).
+    pub unit: &'static str,
+    /// One-line human description, used as Prometheus `# HELP`.
+    pub help: &'static str,
+}
+
+impl MetricMeta {
+    fn matches(&self, family: &str, label_value: &str) -> bool {
+        self.family == family && self.label_value == label_value
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) u32);
+
+/// Handle to a registered windowed series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(pub(crate) u32);
+
+/// Dense storage for all metrics of one run (or one merged set of runs).
+///
+/// Deterministic by construction: iteration order is registration order,
+/// and [`Registry::merge`] requires identical registration order on both
+/// sides (guaranteed when every repetition wires metrics through the same
+/// code path).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    window_tu: f64,
+    counters: Vec<(MetricMeta, u64)>,
+    gauges: Vec<(MetricMeta, f64)>,
+    histograms: Vec<(MetricMeta, Log2Histogram)>,
+    series: Vec<(MetricMeta, WindowedSeries)>,
+}
+
+impl Registry {
+    /// An empty registry whose series use `window_tu`-wide windows.
+    pub fn new(window_tu: f64) -> Self {
+        assert!(window_tu > 0.0 && window_tu.is_finite());
+        Registry {
+            window_tu,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The series window width in TU.
+    pub fn window_tu(&self) -> f64 {
+        self.window_tu
+    }
+
+    /// Registers (or finds) a counter.
+    pub fn counter(
+        &mut self,
+        family: &str,
+        label_key: &'static str,
+        label_value: &str,
+        unit: &'static str,
+        help: &'static str,
+    ) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(m, _)| m.matches(family, label_value)) {
+            return CounterId(i as u32);
+        }
+        self.counters.push((meta(family, label_key, label_value, unit, help), 0));
+        CounterId((self.counters.len() - 1) as u32)
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(
+        &mut self,
+        family: &str,
+        label_key: &'static str,
+        label_value: &str,
+        unit: &'static str,
+        help: &'static str,
+    ) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(m, _)| m.matches(family, label_value)) {
+            return GaugeId(i as u32);
+        }
+        self.gauges.push((meta(family, label_key, label_value, unit, help), 0.0));
+        GaugeId((self.gauges.len() - 1) as u32)
+    }
+
+    /// Registers (or finds) a log2-bucket histogram.
+    pub fn histogram(
+        &mut self,
+        family: &str,
+        label_key: &'static str,
+        label_value: &str,
+        unit: &'static str,
+        help: &'static str,
+    ) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(m, _)| m.matches(family, label_value)) {
+            return HistogramId(i as u32);
+        }
+        self.histograms
+            .push((meta(family, label_key, label_value, unit, help), Log2Histogram::new()));
+        HistogramId((self.histograms.len() - 1) as u32)
+    }
+
+    /// Registers (or finds) a windowed time series of the given kind.
+    pub fn series(
+        &mut self,
+        kind: SeriesKind,
+        family: &str,
+        label_key: &'static str,
+        label_value: &str,
+        unit: &'static str,
+        help: &'static str,
+    ) -> SeriesId {
+        if let Some(i) = self.series.iter().position(|(m, _)| m.matches(family, label_value)) {
+            return SeriesId(i as u32);
+        }
+        let w = self.window_tu;
+        self.series
+            .push((meta(family, label_key, label_value, unit, help), WindowedSeries::new(kind, w)));
+        SeriesId((self.series.len() - 1) as u32)
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn counter_add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].1 += n;
+    }
+
+    /// Sets a gauge to its latest value.
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0 as usize].1 = v;
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, v: f64) {
+        self.histograms[id.0 as usize].1.record(v);
+    }
+
+    /// Samples a time-weighted-mean series at sim time `at_tu`.
+    #[inline]
+    pub fn sample(&mut self, id: SeriesId, at_tu: f64, v: f64) {
+        self.series[id.0 as usize].1.sample(at_tu, v);
+    }
+
+    /// Adds a delta to a rate series at sim time `at_tu`.
+    #[inline]
+    pub fn rate_add(&mut self, id: SeriesId, at_tu: f64, delta: f64) {
+        self.series[id.0 as usize].1.add(at_tu, delta);
+    }
+
+    /// Closes every series at the horizon `end_tu`. Call once when the
+    /// session ends, before exporting or merging.
+    pub fn finish(&mut self, end_tu: f64) {
+        for (_, s) in &mut self.series {
+            s.finish(end_tu);
+        }
+    }
+
+    /// Counters in registration order.
+    pub fn counters(&self) -> &[(MetricMeta, u64)] {
+        &self.counters
+    }
+
+    /// Gauges in registration order.
+    pub fn gauges(&self) -> &[(MetricMeta, f64)] {
+        &self.gauges
+    }
+
+    /// Histograms in registration order.
+    pub fn histograms(&self) -> &[(MetricMeta, Log2Histogram)] {
+        &self.histograms
+    }
+
+    /// Series in registration order.
+    pub fn series_entries(&self) -> &[(MetricMeta, WindowedSeries)] {
+        &self.series
+    }
+
+    /// Folds another registry in. Both sides must have registered the
+    /// same metrics in the same order (the instrumentation code path is
+    /// identical across repetitions, so this holds by construction);
+    /// counters and histogram counts add exactly, gauges add (the
+    /// platform uses none; summing keeps merge associative), and series
+    /// add window accumulators element-wise. Merge in a fixed repetition
+    /// order for bit-stable float sums.
+    pub fn merge(&mut self, other: &Registry) {
+        assert_eq!(self.window_tu.to_bits(), other.window_tu.to_bits());
+        assert_eq!(self.counters.len(), other.counters.len(), "registry shapes differ");
+        assert_eq!(self.gauges.len(), other.gauges.len(), "registry shapes differ");
+        assert_eq!(self.histograms.len(), other.histograms.len(), "registry shapes differ");
+        assert_eq!(self.series.len(), other.series.len(), "registry shapes differ");
+        for ((m, v), (om, ov)) in self.counters.iter_mut().zip(other.counters.iter()) {
+            debug_assert_eq!(m, om);
+            *v += ov;
+        }
+        for ((m, v), (om, ov)) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            debug_assert_eq!(m, om);
+            *v += ov;
+        }
+        for ((m, h), (om, oh)) in self.histograms.iter_mut().zip(other.histograms.iter()) {
+            debug_assert_eq!(m, om);
+            h.merge(oh);
+        }
+        for ((m, s), (om, os)) in self.series.iter_mut().zip(other.series.iter()) {
+            debug_assert_eq!(m, om);
+            s.merge(os);
+        }
+    }
+}
+
+fn meta(
+    family: &str,
+    label_key: &'static str,
+    label_value: &str,
+    unit: &'static str,
+    help: &'static str,
+) -> MetricMeta {
+    debug_assert!(
+        label_key.is_empty() == label_value.is_empty(),
+        "label key and value must both be set or both empty"
+    );
+    MetricMeta {
+        family: family.to_string(),
+        label_key,
+        label_value: label_value.to_string(),
+        unit,
+        help,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_by_family_and_label() {
+        let mut r = Registry::new(5.0);
+        let a = r.counter("vm_hired_total", "tier", "private", "1", "VMs hired");
+        let b = r.counter("vm_hired_total", "tier", "private", "1", "VMs hired");
+        let c = r.counter("vm_hired_total", "tier", "public", "1", "VMs hired");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        r.counter_add(a, 2);
+        r.counter_add(b, 3);
+        assert_eq!(r.counters()[0].1, 5);
+        assert_eq!(r.counters().len(), 2);
+    }
+
+    #[test]
+    fn typed_updates_land_in_their_slots() {
+        let mut r = Registry::new(5.0);
+        let h = r.histogram("queue_wait", "stage", "0", "tu", "queue wait");
+        let g = r.gauge("depth", "", "", "1", "depth");
+        let s = r.series(SeriesKind::Rate, "spend", "tier", "public", "cu_per_tu", "spend");
+        r.record(h, 1.5);
+        r.gauge_set(g, 7.0);
+        r.rate_add(s, 2.0, 10.0);
+        r.finish(5.0);
+        assert_eq!(r.histograms()[0].1.count(), 1);
+        assert_eq!(r.gauges()[0].1, 7.0);
+        assert_eq!(r.series_entries()[0].1.values(), vec![2.0]);
+    }
+
+    #[test]
+    fn merge_folds_all_metric_types() {
+        let build = |n: u64| {
+            let mut r = Registry::new(5.0);
+            let c = r.counter("jobs", "", "", "1", "jobs");
+            let h = r.histogram("wait", "", "", "tu", "wait");
+            let s = r.series(SeriesKind::TimeWeightedMean, "util", "", "", "ratio", "util");
+            r.counter_add(c, n);
+            r.record(h, n as f64);
+            r.sample(s, 0.0, n as f64);
+            r.finish(10.0);
+            r
+        };
+        let mut a = build(2);
+        a.merge(&build(4));
+        assert_eq!(a.counters()[0].1, 6);
+        assert_eq!(a.histograms()[0].1.count(), 2);
+        let v = a.series_entries()[0].1.values();
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry shapes differ")]
+    fn merging_mismatched_shapes_panics() {
+        let mut a = Registry::new(5.0);
+        a.counter("x", "", "", "1", "x");
+        let b = Registry::new(5.0);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Sim-time-windowed series: fixed-width time windows appended to dense
+//! vectors (the LocustDB idea of keeping aggregates columnar and dense —
+//! one `Vec<f64>` pair per series, no per-sample allocation).
+//!
+//! Two accumulation kinds cover the platform's needs:
+//!
+//! * [`SeriesKind::TimeWeightedMean`] — a gauge sampled at irregular
+//!   instants, integrated piecewise-constant over each window (VM
+//!   utilisation, queue depth).
+//! * [`SeriesKind::Rate`] — deltas accumulated per window and divided by
+//!   the window width at export (spend per TU).
+//!
+//! Windows close lazily as samples advance past their end; [`WindowedSeries::finish`]
+//! closes the tail at the horizon. Each closed window keeps its raw
+//! `(value, weight)` accumulator pair rather than the derived mean, so
+//! merging repetitions is an element-wise add — exact in shape and
+//! deterministic when folded in a fixed repetition order.
+
+/// How a series accumulates samples into its windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Piecewise-constant integral of a sampled gauge, divided by covered
+    /// time at export.
+    TimeWeightedMean,
+    /// Sum of deltas per window, divided by the window width at export.
+    Rate,
+}
+
+impl SeriesKind {
+    /// Stable lowercase name (used in exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SeriesKind::TimeWeightedMean => "time_weighted_mean",
+            SeriesKind::Rate => "rate",
+        }
+    }
+}
+
+/// One windowed series. Sample times are raw simulation TU (`f64`);
+/// window `i` covers `[i·w, (i+1)·w)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSeries {
+    kind: SeriesKind,
+    window_tu: f64,
+    /// Closed windows, dense from window 0: `(value_acc, weight_acc)`.
+    /// For [`SeriesKind::TimeWeightedMean`]: `(∫v dt, ∫dt)` over the
+    /// window. For [`SeriesKind::Rate`]: `(Σ deltas, 0)`.
+    closed: Vec<(f64, f64)>,
+    cur: (f64, f64),
+    /// Gauge state for time-weighted integration.
+    last_t: f64,
+    last_v: f64,
+    finished: bool,
+}
+
+impl WindowedSeries {
+    /// A new series with `window_tu`-wide windows starting at t = 0. The
+    /// gauge value is taken as 0 until the first sample.
+    pub fn new(kind: SeriesKind, window_tu: f64) -> Self {
+        assert!(window_tu > 0.0 && window_tu.is_finite());
+        WindowedSeries {
+            kind,
+            window_tu,
+            closed: Vec::new(),
+            cur: (0.0, 0.0),
+            last_t: 0.0,
+            last_v: 0.0,
+            finished: false,
+        }
+    }
+
+    /// The accumulation kind.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// The window width in TU.
+    pub fn window_tu(&self) -> f64 {
+        self.window_tu
+    }
+
+    fn cur_end(&self) -> f64 {
+        (self.closed.len() + 1) as f64 * self.window_tu
+    }
+
+    /// Integrates the held gauge value forward to `t`, closing any
+    /// windows passed on the way.
+    fn advance_to(&mut self, t: f64) {
+        debug_assert!(!self.finished, "sample after finish");
+        debug_assert!(t >= self.last_t, "time went backwards");
+        while t >= self.cur_end() {
+            let end = self.cur_end();
+            let span = end - self.last_t;
+            self.cur.0 += self.last_v * span;
+            self.cur.1 += span;
+            self.last_t = end;
+            self.closed.push(self.cur);
+            self.cur = (0.0, 0.0);
+        }
+        let span = t - self.last_t;
+        self.cur.0 += self.last_v * span;
+        self.cur.1 += span;
+        self.last_t = t;
+    }
+
+    /// Records that the gauge takes `value` from instant `at_tu` on
+    /// ([`SeriesKind::TimeWeightedMean`] only).
+    #[inline]
+    pub fn sample(&mut self, at_tu: f64, value: f64) {
+        debug_assert_eq!(self.kind, SeriesKind::TimeWeightedMean);
+        self.advance_to(at_tu);
+        self.last_v = value;
+    }
+
+    /// Adds `delta` to the window containing `at_tu` ([`SeriesKind::Rate`]
+    /// only).
+    #[inline]
+    pub fn add(&mut self, at_tu: f64, delta: f64) {
+        debug_assert_eq!(self.kind, SeriesKind::Rate);
+        debug_assert!(!self.finished, "sample after finish");
+        while at_tu >= self.cur_end() {
+            self.closed.push(self.cur);
+            self.cur = (0.0, 0.0);
+        }
+        self.cur.0 += delta;
+    }
+
+    /// Closes the series at the horizon `end_tu`; the final (possibly
+    /// partial) window is kept with its true covered span. Idempotent.
+    pub fn finish(&mut self, end_tu: f64) {
+        if self.finished {
+            return;
+        }
+        match self.kind {
+            SeriesKind::TimeWeightedMean => {
+                if end_tu > self.last_t {
+                    self.advance_to(end_tu);
+                }
+            }
+            SeriesKind::Rate => {
+                while end_tu >= self.cur_end() {
+                    self.closed.push(self.cur);
+                    self.cur = (0.0, 0.0);
+                }
+            }
+        }
+        // Keep the trailing partial window only if the horizon actually
+        // extends into it — a horizon exactly on a window boundary leaves
+        // the next window uncovered, not empty-but-present.
+        if end_tu > self.closed.len() as f64 * self.window_tu {
+            self.closed.push(self.cur);
+        }
+        self.cur = (0.0, 0.0);
+        self.finished = true;
+    }
+
+    /// The raw `(value, weight)` accumulators of the closed windows.
+    pub fn accumulators(&self) -> &[(f64, f64)] {
+        &self.closed
+    }
+
+    /// The exported per-window values: time-weighted mean (`0` for
+    /// uncovered windows) or rate per TU, window 0 first.
+    pub fn values(&self) -> Vec<f64> {
+        self.closed
+            .iter()
+            .map(|&(a, b)| match self.kind {
+                SeriesKind::TimeWeightedMean => {
+                    if b > 0.0 {
+                        a / b
+                    } else {
+                        0.0
+                    }
+                }
+                SeriesKind::Rate => a / self.window_tu,
+            })
+            .collect()
+    }
+
+    /// Overall mean across the whole run: time-weighted mean of the gauge
+    /// or total delta over total covered time.
+    pub fn overall_mean(&self) -> f64 {
+        let (va, wa) = self.closed.iter().fold((0.0, 0.0), |(x, y), &(a, b)| (x + a, y + b));
+        match self.kind {
+            SeriesKind::TimeWeightedMean => {
+                if wa > 0.0 {
+                    va / wa
+                } else {
+                    0.0
+                }
+            }
+            SeriesKind::Rate => {
+                let span = self.closed.len() as f64 * self.window_tu;
+                if span > 0.0 {
+                    va / span
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Folds another (finished) series in, window by window. Shapes must
+    /// match; a shorter series is treated as padded with empty windows.
+    pub fn merge(&mut self, other: &WindowedSeries) {
+        assert_eq!(self.kind, other.kind, "cannot merge different series kinds");
+        assert_eq!(
+            self.window_tu.to_bits(),
+            other.window_tu.to_bits(),
+            "cannot merge different window widths"
+        );
+        if other.closed.len() > self.closed.len() {
+            self.closed.resize(other.closed.len(), (0.0, 0.0));
+        }
+        for (s, o) in self.closed.iter_mut().zip(other.closed.iter()) {
+            s.0 += o.0;
+            s.1 += o.1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_mean_integrates_piecewise() {
+        let mut s = WindowedSeries::new(SeriesKind::TimeWeightedMean, 10.0);
+        s.sample(0.0, 2.0); // v=2 over [0,5)
+        s.sample(5.0, 4.0); // v=4 over [5,10)
+        s.sample(12.0, 0.0); // v=4 over [10,12), then 0
+        s.finish(20.0);
+        let v = s.values();
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 3.0).abs() < 1e-12, "window 0: {}", v[0]);
+        // Window 1: 4 for 2 TU + 0 for 8 TU = 0.8 mean.
+        assert!((v[1] - 0.8).abs() < 1e-12, "window 1: {}", v[1]);
+    }
+
+    #[test]
+    fn rate_accumulates_per_window() {
+        let mut s = WindowedSeries::new(SeriesKind::Rate, 5.0);
+        s.add(1.0, 10.0);
+        s.add(4.0, 10.0);
+        s.add(7.0, 5.0);
+        s.finish(15.0);
+        let v = s.values();
+        assert_eq!(v.len(), 3);
+        assert!((v[0] - 4.0).abs() < 1e-12); // 20 over 5 TU
+        assert!((v[1] - 1.0).abs() < 1e-12); // 5 over 5 TU
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_partial_windows_keep_true_span() {
+        let mut s = WindowedSeries::new(SeriesKind::TimeWeightedMean, 10.0);
+        s.sample(0.0, 6.0);
+        s.finish(5.0);
+        s.finish(5.0);
+        let v = s.values();
+        assert_eq!(v.len(), 1);
+        assert!((v[0] - 6.0).abs() < 1e-12, "partial window mean is unbiased");
+        assert!((s.overall_mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_accumulators_elementwise() {
+        let mk = |v: f64| {
+            let mut s = WindowedSeries::new(SeriesKind::TimeWeightedMean, 10.0);
+            s.sample(0.0, v);
+            s.finish(20.0);
+            s
+        };
+        let mut a = mk(2.0);
+        a.merge(&mk(4.0));
+        let v = a.values();
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 3.0).abs() < 1e-12, "merged mean weights both runs");
+    }
+
+    #[test]
+    #[should_panic]
+    fn merging_mismatched_kinds_panics() {
+        let mut a = WindowedSeries::new(SeriesKind::Rate, 10.0);
+        let b = WindowedSeries::new(SeriesKind::TimeWeightedMean, 10.0);
+        a.merge(&b);
+    }
+}

@@ -100,29 +100,44 @@ impl EttEstimator {
         self.model.stage_latency(stage, size_units, shards, threads)
     }
 
+    /// `Σ_{i ≥ current_stage} (EQT_i + EET_i)` — the shared future-stage
+    /// loop of [`EttEstimator::ett`] and [`EttEstimator::remaining`].
+    ///
+    /// Fused on purpose: the Eq. 1 queue-view fill calls this once per
+    /// queued job, so the per-stage arithmetic is inlined here with the
+    /// `units_to_gb` conversion hoisted out of the loop (it does not
+    /// depend on the stage). Bit-exact with the naive per-stage
+    /// `eqt(i) + eet(i, …)` sum: identical operations in identical order,
+    /// folded from 0 like `Iterator::sum` — `prop_future_matches_naive_sum`
+    /// pins this.
+    fn future_from(&self, current_stage: usize, size_units: f64, plan: &[(u32, u32)]) -> f64 {
+        assert!(plan.len() >= self.model.n_stages());
+        let g = self.model.units_to_gb(size_units);
+        let mut future = 0.0;
+        for ((factors, &(shards, threads)), &eqt) in self.model.stages[current_stage..]
+            .iter()
+            .zip(&plan[current_stage..self.model.n_stages()])
+            .zip(&self.queue_times.ewma[current_stage..])
+        {
+            debug_assert!(shards >= 1);
+            let d = g / shards as f64;
+            future += eqt + factors.threaded_time(threads, d);
+        }
+        future
+    }
+
     /// Eq. 2: estimated total latency of `job`, which has completed stages
     /// `0..current_stage` and now sits at `current_stage`, under `plan`
     /// (per-stage `(shards, threads)`).
     pub fn ett(&self, job: &Job, current_stage: usize, plan: &[(u32, u32)], now: SimTime) -> f64 {
         assert_eq!(plan.len(), self.model.n_stages());
         let elapsed = job.latency(now);
-        let future: f64 = (current_stage..self.model.n_stages())
-            .map(|i| {
-                let (s, t) = plan[i];
-                self.queue_times.eqt(i) + self.eet(i, job.size_units, s, t)
-            })
-            .sum();
-        elapsed + future
+        elapsed + self.future_from(current_stage, job.size_units, plan)
     }
 
     /// Estimated *remaining* time (ETT minus elapsed).
     pub fn remaining(&self, job: &Job, current_stage: usize, plan: &[(u32, u32)]) -> f64 {
-        (current_stage..self.model.n_stages())
-            .map(|i| {
-                let (s, t) = plan[i];
-                self.queue_times.eqt(i) + self.eet(i, job.size_units, s, t)
-            })
-            .sum()
+        self.future_from(current_stage, job.size_units, plan)
     }
 }
 
@@ -193,5 +208,38 @@ mod tests {
         let est = EttEstimator::new(PipelineModel::paper(), 0.3);
         let job = Job::new(JobId(1), 5.0, SimTime::ZERO);
         est.ett(&job, 0, &[(1, 1); 3], SimTime::ZERO);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The fused future-stage loop must be *bit-exact* with the
+            /// naive per-stage `eqt(i) + eet(i, …)` sum it replaced — the
+            /// golden fixed-seed trace hash depends on every ETT bit.
+            #[test]
+            fn prop_future_matches_naive_sum(
+                size in 0.5f64..20.0,
+                current in 0usize..7,
+                waits in proptest::collection::vec(0.0f64..30.0, 7..8),
+                plan_raw in proptest::collection::vec((1u32..8, 1u32..16), 7..8),
+            ) {
+                let mut est = EttEstimator::new(PipelineModel::paper(), 0.3);
+                for (i, &w) in waits.iter().enumerate() {
+                    est.queue_times_mut().observe(i, w);
+                }
+                let plan: Vec<(u32, u32)> = plan_raw.clone();
+                let job = Job::new(JobId(1), size, SimTime::ZERO);
+                let naive: f64 = (current..7)
+                    .map(|i| {
+                        let (s, t) = plan[i];
+                        est.queue_times().eqt(i) + est.eet(i, size, s, t)
+                    })
+                    .sum();
+                let fused = est.remaining(&job, current, &plan);
+                prop_assert_eq!(fused.to_bits(), naive.to_bits());
+            }
+        }
     }
 }

@@ -145,6 +145,18 @@ impl ScalingPolicy {
         at: SimTime,
         tracer: &Tracer,
     ) -> ScalingDecision {
+        self.decide_priced_traced(ctx, at, tracer).0
+    }
+
+    /// [`ScalingPolicy::decide_traced`], but also hands the Eq. 1 costs
+    /// back to the caller — the metrics layer records the decision margin
+    /// `|delay_cost − hire_cost|` from them without re-pricing.
+    pub fn decide_priced_traced(
+        &self,
+        ctx: &ScalingContext<'_>,
+        at: SimTime,
+        tracer: &Tracer,
+    ) -> (ScalingDecision, DecisionCosts) {
         let (decision, costs) = self.decide_priced(ctx);
         tracer.emit_with(at, || TraceEvent::ScalingDecision {
             stage: ctx.stage,
@@ -158,7 +170,7 @@ impl ScalingPolicy {
                 ScalingDecision::Wait => ScalingChoice::Wait,
             },
         });
-        decision
+        (decision, costs)
     }
 }
 

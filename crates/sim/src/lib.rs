@@ -19,6 +19,9 @@
 //!   [`Observer`] sinks behind a zero-cost-when-disabled [`Tracer`], so
 //!   the platform's subsystems can narrate scheduling decisions, VM
 //!   lifecycle and job progress to whoever is listening.
+//! * [`prof`] — an opt-in wall-clock self-profiler: RAII spans in
+//!   thread-local call trees, mergeable summaries, sorted self/total
+//!   tables and flamegraph-compatible collapsed stacks.
 //!
 //! Everything is allocation-light in the hot path (events are plain enums
 //! moved through a `BinaryHeap`) and fully deterministic: two runs with the
@@ -29,6 +32,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -44,11 +44,13 @@ impl StageFactors {
     /// Single-threaded execution time at stage-1 input size `d_gb`,
     /// clamped at zero (stage 2's `b = −0.53` extrapolates negative for
     /// tiny inputs).
+    #[inline]
     pub fn exec_time(&self, d_gb: f64) -> f64 {
         (self.a * d_gb + self.b).max(0.0)
     }
 
     /// Threaded execution time: `T(t, d) = c·E(d)/t + (1 − c)·E(d)`.
+    #[inline]
     pub fn threaded_time(&self, threads: u32, d_gb: f64) -> f64 {
         assert!(threads >= 1, "at least one thread");
         let e = self.exec_time(d_gb);
@@ -126,6 +128,7 @@ impl PipelineModel {
     }
 
     /// Converts a job size in abstract units to GB.
+    #[inline]
     pub fn units_to_gb(&self, size_units: f64) -> f64 {
         size_units * self.gb_per_unit
     }
@@ -133,6 +136,7 @@ impl PipelineModel {
     /// Latency of one stage for a job of `size_units`, split into `shards`
     /// pieces each run with `threads` threads (pieces run concurrently, so
     /// stage latency is one piece's threaded time).
+    #[inline]
     pub fn stage_latency(&self, stage: usize, size_units: f64, shards: u32, threads: u32) -> f64 {
         assert!(shards >= 1);
         let d = self.units_to_gb(size_units) / shards as f64;

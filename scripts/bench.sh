@@ -30,7 +30,7 @@ done
 
 benches=(session)
 if [[ "$quick" == 0 ]]; then
-    benches+=(dispatch hiring)
+    benches+=(dispatch hiring metrics)
 fi
 
 raw="$(mktemp)"

@@ -25,6 +25,12 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run (bench smoke: harnesses must compile)"
 cargo bench --workspace --no-run --quiet
 
+echo "==> metrics determinism (parallel merge == sequential fold)"
+cargo test -q -p scan-platform instrument::tests::merged_export_is_identical_to_sequential_fold
+
+echo "==> metrics overhead bench (run-gate: disabled hot path must execute)"
+cargo bench -p scan-bench --bench metrics >/dev/null
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

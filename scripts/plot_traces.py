@@ -2,7 +2,7 @@
 """Trace-driven figures: turn the simulator's JSONL surfaces into SVG.
 
 Stdlib-only (json + string formatting — no matplotlib), so it runs in the
-offline container. Two inputs, two figures (emit either or both):
+offline container. Three inputs, three figures (emit any subset):
 
   --trace trace.jsonl        per-event session stream (fig4/fig5/sweep
                              binaries, `--trace <path>`): queue depth over
@@ -11,15 +11,22 @@ offline container. Two inputs, two figures (emit either or both):
   --cell-trace cells.jsonl   per-cell sweep summaries (`sweep --cell-trace
                              <path>`): the scaling-decision mix of every
                              grid cell as a normalised stacked bar.
+  --metrics out.jsonl        metrics-registry dump (binaries' `--metrics
+                             <path>`): the windowed time series — fleet
+                             utilisation, per-tier spend rate, mean queue
+                             depth — as three panels over sim time.
 
   python3 scripts/plot_traces.py --trace /tmp/trace.jsonl \
-      --cell-trace /tmp/cells.jsonl --out-dir plots/
+      --cell-trace /tmp/cells.jsonl --metrics /tmp/out.jsonl --out-dir plots/
 
-writes plots/session.svg and plots/decisions.svg. Field meanings are
-documented in docs/TRACE_SCHEMA.md; regenerate the inputs with
+writes plots/session.svg, plots/decisions.svg and plots/metrics.svg. Field
+meanings are documented in docs/TRACE_SCHEMA.md and docs/METRICS.md;
+regenerate the inputs with
 
   cargo run --release -p scan-bench --bin sweep -- \
       --trace /tmp/trace.jsonl --cell-trace /tmp/cells.jsonl
+  cargo run --release -p scan-bench --bin fig4 -- --quick \
+      --metrics /tmp/out.jsonl
 """
 
 import argparse
@@ -265,6 +272,80 @@ def plot_decisions(cells_path, out_path):
 
 
 # ----------------------------------------------------------------------
+# Figure 3: windowed metric series (utilisation, spend rate, queue depth)
+# ----------------------------------------------------------------------
+
+SPEND_COLORS = {"private": "#1f77b4", "public": "#d62728"}
+
+
+def plot_metrics(metrics_path, out_path):
+    """Render the registry dump's windowed series: one value per fixed
+    sim-time window, x placed at the window's end."""
+    series = {}  # metric name -> [(label, window_tu, points)]
+    with open(metrics_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            e = json.loads(line)
+            if e.get("type") != "series":
+                continue
+            label = next(iter(e.get("labels", {}).values()), "")
+            series.setdefault(e["metric"], []).append(
+                (label, e["window_tu"], e["points"])
+            )
+    panels = [
+        ("vm_utilisation", "fleet utilisation (busy/hired cores)", "#2ca02c"),
+        ("tier_spend_rate", "spend rate (CU/TU)", None),
+        ("queue_depth", "mean queued subtasks", "#9467bd"),
+    ]
+    present = [p for p in panels if p[0] in series]
+    if not present:
+        print(f"no series lines in {metrics_path}", file=sys.stderr)
+        return False
+
+    W, ML, MR, MT, GAP, PANEL = 860, 62, 18, 30, 40, 118
+    H = MT + len(present) * (PANEL + GAP) + 30
+    t_max = max(
+        w * len(pts)
+        for entries in series.values()
+        for _, w, pts in entries
+        if pts
+    )
+    t_max = t_max or 1.0
+    sx = lambda t: ML + (W - ML - MR) * t / t_max
+
+    svg = Svg(W, H)
+    svg.text(ML, 18, f"Windowed metrics — {os.path.basename(metrics_path)}", size=13)
+
+    for i, (name, title, color) in enumerate(present):
+        top = MT + 12 + i * (PANEL + GAP)
+        entries = series[name]
+        v_max = max((v for _, _, pts in entries for v in pts), default=1) or 1
+        sy = lambda v: top + PANEL * (1 - v / v_max)
+        for tv in ticks(0, v_max, 4):
+            svg.line(ML, sy(tv), W - MR, sy(tv), "#eee")
+            svg.text(ML - 6, sy(tv) + 4, fmt(tv), size=10, anchor="end")
+        for j, (label, w, pts) in enumerate(sorted(entries)):
+            c = color or SPEND_COLORS.get(label, "#555")
+            svg.polyline([(sx((k + 1) * w), sy(v)) for k, v in enumerate(pts)], c)
+            tag = f"{title} [{label}]" if label else title
+            svg.text(ML + 220 * j, top - 4, tag, size=11, color=c)
+        axis_y = top + PANEL
+        svg.line(ML, axis_y, W - MR, axis_y, "#444")
+        for tv in ticks(0, t_max, 8):
+            svg.line(sx(tv), axis_y, sx(tv), axis_y + 3, "#444")
+            if i == len(present) - 1:
+                svg.text(sx(tv), axis_y + 14, fmt(tv), size=10, anchor="middle")
+    svg.text((ML + W - MR) / 2, H - 6, "simulation time (TU)", anchor="middle")
+
+    svg.write(out_path)
+    n_pts = sum(len(pts) for e in series.values() for _, _, pts in e)
+    print(f"wrote {out_path} ({len(present)} panels, {n_pts} window points)")
+    return True
+
+
+# ----------------------------------------------------------------------
 
 
 def main():
@@ -273,10 +354,11 @@ def main():
     )
     ap.add_argument("--trace", help="per-event session JSONL (binaries' --trace)")
     ap.add_argument("--cell-trace", help="per-cell sweep JSONL (sweep --cell-trace)")
+    ap.add_argument("--metrics", help="metrics-registry JSONL (binaries' --metrics)")
     ap.add_argument("--out-dir", default=".", help="directory for the SVGs")
     args = ap.parse_args()
-    if not args.trace and not args.cell_trace:
-        ap.error("give --trace and/or --cell-trace")
+    if not args.trace and not args.cell_trace and not args.metrics:
+        ap.error("give --trace, --cell-trace and/or --metrics")
     os.makedirs(args.out_dir, exist_ok=True)
     ok = True
     if args.trace:
@@ -285,6 +367,8 @@ def main():
         ok &= plot_decisions(
             args.cell_trace, os.path.join(args.out_dir, "decisions.svg")
         )
+    if args.metrics:
+        ok &= plot_metrics(args.metrics, os.path.join(args.out_dir, "metrics.svg"))
     sys.exit(0 if ok else 1)
 
 
