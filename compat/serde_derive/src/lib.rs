@@ -6,6 +6,8 @@
 //! is no `serde_json` here), so the derives can legitimately expand to
 //! nothing: no impls are ever looked up.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; see the crate docs.

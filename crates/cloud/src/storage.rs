@@ -113,6 +113,7 @@ impl SharedStore {
         let ds = self
             .datasets
             .get(path)
+            // scan-lint: allow(no-panic) -- documented `# Panics` contract: unknown path is a bug.
             .unwrap_or_else(|| panic!("staging_time for unregistered dataset '{path}'"));
         self.model.transfer_time(ds.size_gb)
     }

@@ -239,9 +239,10 @@ impl Platform {
             .unwrap_or(1.0);
 
         ScalingInputs {
-            private_has_capacity: self
-                .provider
-                .has_capacity(self.private_tier, InstanceSize::new(class.cores).expect("shape")),
+            private_has_capacity: self.provider.has_capacity(
+                self.private_tier,
+                InstanceSize::new(class.cores).expect("job classes declare nonzero cores"),
+            ),
             expected_wait_tu: expected_wait,
             expected_task_tu,
         }

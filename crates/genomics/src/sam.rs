@@ -155,7 +155,8 @@ pub fn parse_sbam(buf: &[u8]) -> Result<Vec<SamRecord>, SbamError> {
     if buf.len() < 9 || &buf[..5] != SBAM_MAGIC {
         return Err(SbamError::BadMagic);
     }
-    let count = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")) as usize;
+    let count =
+        u32::from_le_bytes(buf[5..9].try_into().expect("slice 5..9 is exactly 4 bytes")) as usize;
     // Never trust the untrusted count for preallocation: a corrupt header
     // must not trigger a giant allocation. 21 bytes is the minimum record.
     let mut records = Vec::with_capacity(count.min(buf.len() / 21 + 1));
@@ -202,7 +203,7 @@ fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, SbamError> {
     if end > buf.len() {
         return Err(SbamError::Truncated);
     }
-    let v = u32::from_le_bytes(buf[*pos..end].try_into().expect("4 bytes"));
+    let v = u32::from_le_bytes(buf[*pos..end].try_into().expect("bounds-checked 4-byte slice"));
     *pos = end;
     Ok(v)
 }
@@ -212,7 +213,7 @@ fn read_u16(buf: &[u8], pos: &mut usize) -> Result<u16, SbamError> {
     if end > buf.len() {
         return Err(SbamError::Truncated);
     }
-    let v = u16::from_le_bytes(buf[*pos..end].try_into().expect("2 bytes"));
+    let v = u16::from_le_bytes(buf[*pos..end].try_into().expect("bounds-checked 2-byte slice"));
     *pos = end;
     Ok(v)
 }

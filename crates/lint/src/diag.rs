@@ -1,0 +1,263 @@
+//! Diagnostics and the inline escape hatch.
+//!
+//! A rule reports [`Diagnostic`]s; before anything is printed, the
+//! engine applies the file's `// scan-lint: allow(<rule>) -- <reason>`
+//! directives. An allow suppresses matching diagnostics on its own line
+//! and the line directly below it (so it works both as a trailing
+//! comment and as a line of its own above the code it excuses). The
+//! reason is mandatory: an allow without one — or naming an unknown rule
+//! — is itself an error (`bad-allow`), and an allow that suppressed
+//! nothing is a warning (`unused-allow`), keeping the escape-hatch
+//! inventory honest.
+
+use crate::source::SourceFile;
+use std::fmt;
+use std::path::PathBuf;
+
+/// How serious a finding is. `--deny-warnings` (the CI gate) promotes
+/// warnings to the error exit code; the distinction still shows in the
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Should be fixed, but does not fail a default run.
+    Warning,
+    /// Fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding, pointing at a file location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Severity the rule declared.
+    pub severity: Severity,
+    /// File the finding is in (workspace-relative in CLI runs).
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human explanation, one sentence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the canonical single-line form used by the human report
+    /// and the golden fixture files:
+    /// `path:line:col: severity [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {} [{}] {}",
+            self.path.display(),
+            self.line,
+            self.col,
+            self.severity,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// One parsed `scan-lint: allow(…)` directive.
+#[derive(Debug)]
+struct AllowDirective {
+    /// Rules the directive names.
+    rules: Vec<String>,
+    /// Line the comment sits on.
+    line: u32,
+    col: u32,
+    /// Whether a ` -- reason` was supplied.
+    has_reason: bool,
+    /// Whether it suppressed at least one diagnostic.
+    used: bool,
+}
+
+/// Scans a file's comments for allow directives, applies them to `diags`
+/// (removing suppressed entries), and appends `bad-allow`/`unused-allow`
+/// findings. `known_rule` tells the parser which rule names exist.
+pub fn apply_allows(
+    file: &SourceFile,
+    diags: &mut Vec<Diagnostic>,
+    known_rule: impl Fn(&str) -> bool,
+) {
+    let mut directives = Vec::new();
+    let mut bad = Vec::new();
+    // Doc comments are excluded: a directive prefix appearing there is
+    // documentation *about* the syntax, not a directive.
+    for token in file.tokens.iter().filter(|t| t.is_comment() && !t.is_doc_comment()) {
+        let text = file.text_of(token);
+        let Some(at) = text.find("scan-lint:") else { continue };
+        match parse_directive(&text[at..]) {
+            Ok((rules, has_reason)) => {
+                for rule in &rules {
+                    if !known_rule(rule) {
+                        bad.push(Diagnostic {
+                            rule: "bad-allow",
+                            severity: Severity::Error,
+                            path: file.path.clone(),
+                            line: token.line,
+                            col: token.col,
+                            message: format!("allow names unknown rule `{rule}`"),
+                        });
+                    }
+                }
+                directives.push(AllowDirective {
+                    rules,
+                    line: token.line,
+                    col: token.col,
+                    has_reason,
+                    used: false,
+                });
+            }
+            Err(why) => bad.push(Diagnostic {
+                rule: "bad-allow",
+                severity: Severity::Error,
+                path: file.path.clone(),
+                line: token.line,
+                col: token.col,
+                message: why.to_string(),
+            }),
+        }
+    }
+
+    diags.retain(|d| {
+        for directive in directives.iter_mut() {
+            let in_range = d.line == directive.line || d.line == directive.line + 1;
+            if in_range && directive.rules.iter().any(|r| r == d.rule) {
+                directive.used = true;
+                return false;
+            }
+        }
+        true
+    });
+
+    for directive in &directives {
+        if !directive.has_reason {
+            bad.push(Diagnostic {
+                rule: "bad-allow",
+                severity: Severity::Error,
+                path: file.path.clone(),
+                line: directive.line,
+                col: directive.col,
+                message: "allow directive has no `-- <reason>`; every escape must say why"
+                    .to_string(),
+            });
+        } else if !directive.used {
+            bad.push(Diagnostic {
+                rule: "unused-allow",
+                severity: Severity::Warning,
+                path: file.path.clone(),
+                line: directive.line,
+                col: directive.col,
+                message: format!(
+                    "allow({}) suppressed nothing; remove it",
+                    directive.rules.join(", ")
+                ),
+            });
+        }
+    }
+    diags.extend(bad);
+}
+
+/// Parses `scan-lint: allow(a, b) -- reason`, returning the rule list
+/// and whether a non-empty reason followed.
+fn parse_directive(text: &str) -> Result<(Vec<String>, bool), &'static str> {
+    let rest = text.trim_start_matches("scan-lint:").trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err(
+            "malformed scan-lint directive; expected `scan-lint: allow(<rule>) -- <reason>`",
+        );
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(`");
+    };
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("allow() names no rules");
+    }
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail
+        .strip_prefix("--")
+        .map(|reason| !reason.trim_start_matches(['-', ' ']).trim().is_empty())
+        .unwrap_or(false);
+    Ok((rules, has_reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            path: PathBuf::from("x.rs"),
+            line,
+            col: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    fn run(src: &str, mut diags: Vec<Diagnostic>) -> Vec<String> {
+        let file = SourceFile::new(PathBuf::from("x.rs"), src.to_string());
+        apply_allows(&file, &mut diags, |r| r == "no-unwrap" || r == "hash-iter");
+        diags.iter().map(|d| format!("{}@{} ({})", d.rule, d.line, d.severity)).collect()
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let out = run(
+            "let x = y.unwrap(); // scan-lint: allow(no-unwrap) -- invariant\n",
+            vec![diag("no-unwrap", 1)],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "// scan-lint: allow(no-unwrap) -- checked above\nlet x = y.unwrap();\n";
+        assert!(run(src, vec![diag("no-unwrap", 2)]).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_reach_further() {
+        let src = "// scan-lint: allow(no-unwrap) -- close only\n\nlet x = y.unwrap();\n";
+        let out = run(src, vec![diag("no-unwrap", 3)]);
+        // The finding survives and the allow is reported unused.
+        assert!(out.iter().any(|l| l.starts_with("no-unwrap@3")));
+        assert!(out.iter().any(|l| l.starts_with("unused-allow@1")));
+    }
+
+    #[test]
+    fn reasonless_allow_is_an_error() {
+        let src = "let x = y.unwrap(); // scan-lint: allow(no-unwrap)\n";
+        let out = run(src, vec![diag("no-unwrap", 1)]);
+        assert!(out.iter().any(|l| l.starts_with("bad-allow@1 (error)")), "{out:?}");
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let src = "// scan-lint: allow(no-such-rule) -- because\n";
+        let out = run(src, vec![]);
+        assert!(out.iter().any(|l| l.starts_with("bad-allow@1")));
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "// scan-lint: allow(no-unwrap, hash-iter) -- both fine here\nbad();\n";
+        let out = run(src, vec![diag("no-unwrap", 2), diag("hash-iter", 2)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,418 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! lint rules: identifiers, punctuation, numbers, the full string/char
+//! literal zoo (so nothing inside a literal is ever mistaken for code),
+//! and comments kept as first-class tokens (the hygiene rules and the
+//! `scan-lint: allow(…)` escape hatch both read them).
+//!
+//! This is deliberately not a parser: the rules in [`crate::rules`] work
+//! on token patterns plus a little brace/paren matching, which keeps the
+//! pass fast (the whole workspace tokenizes in tens of milliseconds) and
+//! dependency-free — the container is offline, so a real parser crate is
+//! not an option.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `r#type`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (`0.5`, `0x5CA4`, `1e-3`).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`::` is two `Punct(b':')` tokens).
+    Punct(u8),
+    /// A `//` comment. `doc` marks `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// A `/* */` comment (nesting handled). `doc` marks `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+}
+
+/// One token with its byte span and human coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment { .. } | TokenKind::BlockComment { .. })
+    }
+
+    /// Whether the token is a doc comment.
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+
+    /// For [`TokenKind::Str`] tokens: the literal's content with quotes,
+    /// prefixes and raw-string hashes stripped (escapes are *not*
+    /// processed — the rules only care about content length and plain
+    /// text). Returns `None` for other token kinds.
+    pub fn str_content<'a>(&self, src: &'a str) -> Option<&'a str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let text = self.text(src);
+        let body = text.trim_start_matches(['b', 'r']).trim_start_matches('#');
+        let body = body.strip_prefix('"')?;
+        Some(body.trim_end_matches('#').strip_suffix('"').unwrap_or(body))
+    }
+}
+
+/// Tokenizes one Rust source file. Unterminated literals and comments are
+/// tolerated (the token runs to end of input): the linter must keep going
+/// on code that `rustc` would reject, since it runs before the compiler.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, line_start: 0, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let col = (start - self.line_start + 1) as u32;
+            let kind = self.next_kind();
+            let Some(kind) = kind else { continue };
+            self.out.push(Token { kind, start, end: self.pos, line, col });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, maintaining the line map.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Lexes one token, returning `None` for skipped whitespace.
+    fn next_kind(&mut self) -> Option<TokenKind> {
+        let c = self.peek(0);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                self.bump();
+                None
+            }
+            b'/' if self.peek(1) == b'/' => Some(self.line_comment()),
+            b'/' if self.peek(1) == b'*' => Some(self.block_comment()),
+            b'"' => Some(self.string()),
+            b'\'' => Some(self.char_or_lifetime()),
+            b'r' | b'b' if self.literal_prefix() => Some(self.prefixed_literal()),
+            _ if c.is_ascii_digit() => Some(self.number()),
+            _ if is_ident_start(c) => Some(self.ident()),
+            _ => {
+                self.bump();
+                Some(TokenKind::Punct(c))
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///x` is doc, `////` is a plain comment row, `//!` is inner doc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (b'/', b'/') => false,
+            (b'/', _) | (b'!', _) => true,
+            _ => false,
+        };
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let doc = matches!((self.peek(2), self.peek(3)), (b'*', b) if b != b'*' && b != b'/')
+            || self.peek(2) == b'!';
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// A plain `"…"` string with backslash escapes.
+    fn string(&mut self) -> TokenKind {
+        self.bump();
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Whether the `r`/`b` at the cursor starts a literal rather than an
+    /// identifier: `r"`, `r#"`, `r#raw_ident` (ident, handled there),
+    /// `b"`, `b'`, `br"`, `br#"`, `rb` is not a thing.
+    fn literal_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1), self.peek(2)) {
+            (b'r', b'"', _) | (b'b', b'"', _) | (b'b', b'\'', _) => true,
+            (b'r', b'#', third) => third == b'"' || third == b'#',
+            (b'b', b'r', b'"') | (b'b', b'r', b'#') => true,
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self) -> TokenKind {
+        if self.peek(0) == b'b' && self.peek(1) == b'\'' {
+            self.bump();
+            return self.char_or_lifetime();
+        }
+        // Consume the prefix letters, count the hashes, then the body.
+        while matches!(self.peek(0), b'r' | b'b') {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            // `r#ident` — a raw identifier, not a literal.
+            return self.ident();
+        }
+        self.bump();
+        'body: while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                if (1..=hashes).all(|i| self.peek(i) == b'#') {
+                    self.bump_n(1 + hashes);
+                    break 'body;
+                }
+                // A quote not followed by enough hashes is content.
+            } else if hashes == 0 && self.peek(0) == b'\\' {
+                self.bump();
+            }
+            self.bump();
+        }
+        TokenKind::Str
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump();
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume to the closing quote.
+            while self.pos < self.src.len() {
+                match self.peek(0) {
+                    b'\\' => self.bump_n(2),
+                    b'\'' => {
+                        self.bump();
+                        return TokenKind::Char;
+                    }
+                    _ => self.bump(),
+                }
+            }
+            return TokenKind::Char;
+        }
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            // `'static`, `'a` — a lifetime/label.
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        // `'x'` or a multi-byte UTF-8 char: consume to the closing quote.
+        while self.pos < self.src.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        if self.pos < self.src.len() {
+            self.bump();
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) -> TokenKind {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // `1e-3` / `0x…` digits and suffixes; a sign is part of the
+                // number only directly after an exponent marker.
+                if matches!(c, b'e' | b'E')
+                    && matches!(self.peek(1), b'+' | b'-')
+                    && self.peek(2).is_ascii_digit()
+                {
+                    self.bump_n(2);
+                    continue;
+                }
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `0.5` continues the number; `1..n` and `2.pow()` do not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        if self.peek(0) == b'r' && self.peek(1) == b'#' {
+            self.bump_n(2);
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = 0.5e-3 + y_2;");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "0.5e-3", "+", "y_2", ";"]);
+        assert_eq!(toks[3].0, TokenKind::Number);
+    }
+
+    #[test]
+    fn range_does_not_swallow_dots() {
+        let texts: Vec<String> = kinds("0..5").into_iter().map(|(_, s)| s).collect();
+        assert_eq!(texts, ["0", ".", ".", "5"]);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r#"let s = "HashMap // not a comment"; x"#;
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(toks.iter().all(|(_, s)| s != "HashMap"));
+        assert_eq!(toks.last().map(|(_, s)| s.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let src = "r#\"quote \" inside\"# b\"bytes\" br#\"raw\"# r#type";
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+        assert_eq!(toks.last().map(|(k, s)| (*k, s.as_str())), Some((TokenKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn str_content_strips_delimiters() {
+        let src = "\"abc\" r#\"de\"f\"# b\"gh\"";
+        let toks = tokenize(src);
+        let contents: Vec<&str> = toks.iter().filter_map(|t| t.str_content(src)).collect();
+        assert_eq!(contents, ["abc", "de\"f", "gh"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '\\n'; b'z'; 'label: loop {}");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'label"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn comments_and_doc_flavours() {
+        let src = "// plain\n/// doc\n//! inner\n//// rule\n/* block */\n/** docblock */ fn";
+        let toks = tokenize(src);
+        let docs: Vec<bool> =
+            toks.iter().filter(|t| t.is_comment()).map(|t| t.is_doc_comment()).collect();
+        assert_eq!(docs, [false, true, true, false, false, true]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "fn a() {}\n  let b = 1;";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").map(|t| (t.line, t.col));
+        assert_eq!(b, Some((2, 7)));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        for src in ["\"open", "r#\"open", "/* open", "'\\", "b'"] {
+            let _ = tokenize(src);
+        }
+    }
+}

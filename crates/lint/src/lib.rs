@@ -1,0 +1,36 @@
+//! `scan-lint`: the workspace's determinism-and-consistency analyzer.
+//!
+//! A source-level static analyzer purpose-built for this repository. It
+//! lexes every workspace crate with its own lightweight Rust tokenizer
+//! (no external parser — the workspace builds fully offline) and
+//! enforces three families of project invariants that `rustc` and
+//! `clippy` cannot express:
+//!
+//! 1. **Determinism** — sim-facing library code must not use
+//!    `HashMap`/`HashSet`, wall clocks, OS entropy, `std::env` reads, or
+//!    `partial_cmp().unwrap()` float ordering, so a fixed seed is
+//!    byte-identical run to run (see `docs/LINTS.md`).
+//! 2. **Hygiene** — panic discipline in library code, doc comments on
+//!    every `pub` item, no orphaned TODOs.
+//! 3. **Doc–code consistency** — `docs/TRACE_SCHEMA.md` must match the
+//!    `TraceEvent` enum and `docs/METRICS.md` must match the registered
+//!    metric families, in both directions.
+//!
+//! Findings can be silenced inline with
+//! `// scan-lint: allow(<rule>) -- <reason>`; the reason is mandatory
+//! and unused allows are themselves flagged. The `scan-lint` binary is a
+//! step of `scripts/ci.sh`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lex;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Severity};
+pub use source::{FileClass, SourceFile};
+pub use workspace::{RunResult, Workspace};

@@ -1,0 +1,79 @@
+//! The `scan-lint` command-line front end. See `docs/LINTS.md` for the
+//! rule catalogue and `scripts/ci.sh` for the gate invocation.
+
+#![forbid(unsafe_code)]
+
+use scan_lint::{report, rules, workspace::Workspace, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+scan-lint: workspace determinism-and-consistency analyzer
+
+USAGE:
+    scan-lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>       Workspace root to scan (default: current directory)
+    --json             Emit one JSON object instead of the human table
+    --deny-warnings    Exit nonzero on warnings as well as errors (CI gate)
+    --list-rules       Print the rule catalogue and exit
+    -h, --help         Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny_warnings = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--list-rules" => {
+                for rule in rules::RULES {
+                    println!("{:<18} {:<8} {}", rule.id, rule.severity.to_string(), rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match argv.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root needs a directory argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!("error: failed to load workspace at {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let result = ws.run();
+
+    if json {
+        print!("{}", report::render_json(&result));
+    } else {
+        print!("{}", report::render_human(&result));
+    }
+
+    let fails = result.diagnostics.iter().any(|d| d.severity == Severity::Error || deny_warnings);
+    if fails {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

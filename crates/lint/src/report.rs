@@ -1,0 +1,124 @@
+//! Rendering a [`RunResult`] for humans
+//! (grouped table) and machines (`--json`, hand-rolled — the analyzer
+//! has zero dependencies by design).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::workspace::RunResult;
+use std::fmt::Write;
+
+/// Counts by severity.
+pub fn totals(diags: &[Diagnostic]) -> (usize, usize) {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    (errors, diags.len() - errors)
+}
+
+/// The human report: findings grouped by file, then a one-line summary.
+pub fn render_human(result: &RunResult) -> String {
+    let mut out = String::new();
+    let mut last_path = None;
+    for diag in &result.diagnostics {
+        if last_path != Some(&diag.path) {
+            if last_path.is_some() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{}", diag.path.display());
+            last_path = Some(&diag.path);
+        }
+        let _ = writeln!(
+            out,
+            "  {}:{}: {} [{}] {}",
+            diag.line, diag.col, diag.severity, diag.rule, diag.message
+        );
+    }
+    if !result.diagnostics.is_empty() {
+        out.push('\n');
+    }
+    let (errors, warnings) = totals(&result.diagnostics);
+    let _ = writeln!(
+        out,
+        "scan-lint: {} files scanned, {errors} error{}, {warnings} warning{}",
+        result.files_scanned,
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// The machine report: a single JSON object with the scan totals and a
+/// flat findings array.
+pub fn render_json(result: &RunResult) -> String {
+    let (errors, warnings) = totals(&result.diagnostics);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"files_scanned\":{},\"errors\":{errors},\"warnings\":{warnings},\"findings\":[",
+        result.files_scanned
+    );
+    for (i, diag) in result.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":{},\"line\":{},\"col\":{},\"severity\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&diag.path.display().to_string()),
+            diag.line,
+            diag.col,
+            json_str(&diag.severity.to_string()),
+            json_str(diag.rule),
+            json_str(&diag.message),
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn human_summary_counts() {
+        let result = RunResult {
+            diagnostics: vec![Diagnostic {
+                rule: "no-unwrap",
+                severity: Severity::Warning,
+                path: PathBuf::from("x.rs"),
+                line: 3,
+                col: 7,
+                message: "m".to_string(),
+            }],
+            files_scanned: 2,
+        };
+        let text = render_human(&result);
+        assert!(text.contains("x.rs\n  3:7: warning [no-unwrap] m"), "{text}");
+        assert!(text.contains("2 files scanned, 0 errors, 1 warning"), "{text}");
+    }
+}

@@ -1,0 +1,498 @@
+//! Doc–code consistency rules: the reference documents must match the
+//! code, in both directions.
+//!
+//! * `trace-doc-drift` — `docs/TRACE_SCHEMA.md` against the `TraceEvent`
+//!   enum in `crates/sim/src/trace.rs`: every variant documented, no
+//!   phantom sections, `kind` tags equal to `TraceEvent::kind`, field
+//!   tables equal to the variants' field names, and every
+//!   `ScalingChoice` label mentioned.
+//! * `metrics-doc-drift` — `docs/METRICS.md` against the metric families
+//!   actually registered in library code (`registry.counter(…)` /
+//!   `.histogram(…)` / `.series(…)` call sites): the catalogue lists
+//!   exactly the registered families.
+//!
+//! Both sides are parsed structurally (tokens on the code side, table
+//! rows on the markdown side), so a renamed field or a new variant fails
+//! CI the moment it lands without its documentation line.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lex::{Token, TokenKind};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The code-side trace model extracted from `trace.rs`.
+#[derive(Debug, Default)]
+pub struct TraceModel {
+    /// Variant name → (declaration line, field names in order).
+    pub variants: BTreeMap<String, (u32, Vec<String>)>,
+    /// Variant name → the string tag `TraceEvent::kind` returns for it.
+    pub kinds: BTreeMap<String, String>,
+    /// The label strings `ScalingChoice::name` can return.
+    pub choice_names: Vec<String>,
+}
+
+/// One documented event section of TRACE_SCHEMA.md.
+#[derive(Debug)]
+struct DocSection {
+    kind: String,
+    variant: String,
+    line: u32,
+    /// Field name → line of its table row.
+    fields: Vec<(String, u32)>,
+}
+
+/// Extracts the [`TraceModel`] from the lexed `trace.rs`.
+pub fn parse_trace_model(src: &SourceFile) -> TraceModel {
+    let code: Vec<&Token> = src.code_tokens().map(|(_, t)| t).collect();
+    let mut model = TraceModel::default();
+    if let Some(body) = brace_body_after(src, &code, &["enum", "TraceEvent"]) {
+        model.variants = parse_variants(src, &code[body.0..body.1]);
+    }
+    if let Some(body) = brace_body_after(src, &code, &["fn", "kind"]) {
+        model.kinds = parse_kind_arms(src, &code[body.0..body.1]);
+    }
+    if let Some(body) = brace_body_after(src, &code, &["fn", "name"]) {
+        model.choice_names = code[body.0..body.1]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .filter_map(|t| t.str_content(&src.text))
+            .map(str::to_string)
+            .collect();
+    }
+    model
+}
+
+/// Finds `keywords[0] keywords[1] … {` and returns the code-token index
+/// range of the brace body (exclusive of the braces).
+fn brace_body_after(
+    src: &SourceFile,
+    code: &[&Token],
+    keywords: &[&str],
+) -> Option<(usize, usize)> {
+    'outer: for i in 0..code.len().saturating_sub(keywords.len()) {
+        for (j, kw) in keywords.iter().enumerate() {
+            if code[i + j].kind != TokenKind::Ident || src.text_of(code[i + j]) != *kw {
+                continue 'outer;
+            }
+        }
+        // Scan to the opening brace, then to its match.
+        let mut k = i + keywords.len();
+        while k < code.len() && !matches!(code[k].kind, TokenKind::Punct(b'{')) {
+            k += 1;
+        }
+        let open = k;
+        let mut depth = 0i32;
+        while k < code.len() {
+            match code[k].kind {
+                TokenKind::Punct(b'{') => depth += 1,
+                TokenKind::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open + 1, k));
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    None
+}
+
+/// Parses enum variants (and their named-field lists) from the tokens of
+/// an enum body.
+fn parse_variants(src: &SourceFile, body: &[&Token]) -> BTreeMap<String, (u32, Vec<String>)> {
+    let mut out = BTreeMap::new();
+    let mut k = 0;
+    while k < body.len() {
+        let t = body[k];
+        if t.kind != TokenKind::Ident {
+            k += 1;
+            continue;
+        }
+        let name = src.text_of(t).to_string();
+        let line = t.line;
+        let mut fields = Vec::new();
+        k += 1;
+        if k < body.len() && matches!(body[k].kind, TokenKind::Punct(b'{')) {
+            let mut depth = 0i32;
+            while k < body.len() {
+                match body[k].kind {
+                    TokenKind::Punct(b'{') => depth += 1,
+                    TokenKind::Punct(b'}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    TokenKind::Ident
+                        if depth == 1
+                            && matches!(
+                                body.get(k + 1).map(|t| t.kind),
+                                Some(TokenKind::Punct(b':'))
+                            ) =>
+                    {
+                        fields.push(src.text_of(body[k]).to_string());
+                        // Skip the type up to the field's trailing comma.
+                        let mut inner = 0i32;
+                        while k < body.len() {
+                            match body[k].kind {
+                                TokenKind::Punct(b'<') | TokenKind::Punct(b'(') => inner += 1,
+                                TokenKind::Punct(b'>') | TokenKind::Punct(b')') => inner -= 1,
+                                TokenKind::Punct(b',') if inner <= 0 => break,
+                                TokenKind::Punct(b'}') if inner <= 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if matches!(body.get(k).map(|t| t.kind), Some(TokenKind::Punct(b'}'))) {
+                            continue; // let the depth tracker close the block
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        out.insert(name, (line, fields));
+        // Advance past the variant's trailing comma if present.
+        while k < body.len() && matches!(body[k].kind, TokenKind::Punct(b',')) {
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Parses `Self::Variant { .. } => "tag"` arms from a `fn kind` body.
+fn parse_kind_arms(src: &SourceFile, body: &[&Token]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut k = 0;
+    while k + 2 < body.len() {
+        let is_self_path = body[k].kind == TokenKind::Ident
+            && src.text_of(body[k]) == "Self"
+            && matches!(body[k + 1].kind, TokenKind::Punct(b':'))
+            && matches!(body[k + 2].kind, TokenKind::Punct(b':'));
+        if !is_self_path {
+            k += 1;
+            continue;
+        }
+        let Some(variant) = body.get(k + 3).filter(|t| t.kind == TokenKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        // Scan forward to the arm's string literal (past `{ .. } =>`).
+        let mut j = k + 4;
+        while j < body.len() && body[j].kind != TokenKind::Str {
+            if body[j].kind == TokenKind::Ident && src.text_of(body[j]) == "Self" {
+                break; // malformed arm; resync on the next one
+            }
+            j += 1;
+        }
+        if let Some(tag) = body.get(j).and_then(|t| t.str_content(&src.text)) {
+            out.insert(src.text_of(variant).to_string(), tag.to_string());
+        }
+        k = j;
+    }
+    out
+}
+
+/// Cross-checks TRACE_SCHEMA.md against the trace model. `doc_path` and
+/// `code_path` are used for diagnostic locations only.
+pub fn check_trace_schema(
+    doc_path: &Path,
+    doc_text: &str,
+    code_path: &Path,
+    model: &TraceModel,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut emit = |path: &Path, line: u32, message: String| {
+        diags.push(Diagnostic {
+            rule: "trace-doc-drift",
+            severity: Severity::Error,
+            path: path.to_path_buf(),
+            line,
+            col: 1,
+            message,
+        });
+    };
+
+    let sections = parse_doc_sections(doc_text);
+    if model.variants.is_empty() {
+        emit(code_path, 1, "could not locate `enum TraceEvent` to cross-check".to_string());
+        return diags;
+    }
+    if sections.is_empty() {
+        emit(doc_path, 1, "no `### \\`kind\\` — \\`TraceEvent::…\\`` sections found".to_string());
+        return diags;
+    }
+
+    for (variant, (line, fields)) in &model.variants {
+        match sections.iter().find(|s| &s.variant == variant) {
+            None => emit(
+                code_path,
+                *line,
+                format!("TraceEvent::{variant} has no section in {}", doc_path.display()),
+            ),
+            Some(section) => {
+                for field in fields {
+                    if !section.fields.iter().any(|(f, _)| f == field) {
+                        emit(
+                            doc_path,
+                            section.line,
+                            format!(
+                                "section `{}` is missing a row for field `{field}` of \
+                                 TraceEvent::{variant}",
+                                section.kind
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for section in &sections {
+        let Some((_, fields)) = model.variants.get(&section.variant) else {
+            emit(
+                doc_path,
+                section.line,
+                format!("documented variant TraceEvent::{} does not exist", section.variant),
+            );
+            continue;
+        };
+        match model.kinds.get(&section.variant) {
+            Some(tag) if tag != &section.kind => emit(
+                doc_path,
+                section.line,
+                format!(
+                    "section tag `{}` disagrees with TraceEvent::kind (`{tag}`) for variant {}",
+                    section.kind, section.variant
+                ),
+            ),
+            None => emit(
+                doc_path,
+                section.line,
+                format!("variant {} has no arm in TraceEvent::kind", section.variant),
+            ),
+            _ => {}
+        }
+        for (field, row_line) in &section.fields {
+            if !fields.iter().any(|f| f == field) {
+                emit(
+                    doc_path,
+                    *row_line,
+                    format!(
+                        "documented field `{field}` does not exist on TraceEvent::{}",
+                        section.variant
+                    ),
+                );
+            }
+        }
+    }
+    for choice in &model.choice_names {
+        if !doc_text.contains(&format!("`{choice}`")) {
+            emit(
+                doc_path,
+                1,
+                format!("ScalingChoice label `{choice}` is not mentioned anywhere in the schema"),
+            );
+        }
+    }
+    diags
+}
+
+/// Parses the `### `kind` — `TraceEvent::Variant`` sections and their
+/// field tables out of TRACE_SCHEMA.md.
+fn parse_doc_sections(doc_text: &str) -> Vec<DocSection> {
+    let mut sections: Vec<DocSection> = Vec::new();
+    let mut in_fence = false;
+    for (idx, raw) in doc_text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim_end();
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("### `") {
+            let Some((kind, tail)) = rest.split_once('`') else { continue };
+            let Some(variant) = tail
+                .split_once("TraceEvent::")
+                .map(|(_, v)| v.trim_end_matches(['`', ' ']).to_string())
+            else {
+                continue;
+            };
+            sections.push(DocSection {
+                kind: kind.to_string(),
+                variant,
+                line: line_no,
+                fields: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with("## ") {
+            // Field tables only belong to the catalogue's ### sections;
+            // a new top-level section ends attribution.
+            if line != "## Event catalogue" {
+                sections.push(DocSection {
+                    kind: String::new(),
+                    variant: String::new(),
+                    line: line_no,
+                    fields: Vec::new(),
+                });
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some((field, _)) = rest.split_once('`') {
+                if let Some(section) = sections.last_mut() {
+                    section.fields.push((field.to_string(), line_no));
+                }
+            }
+        }
+    }
+    sections.retain(|s| !s.variant.is_empty());
+    sections
+}
+
+/// A registered metric family: name → every registration site.
+pub type RegisteredMetrics = BTreeMap<String, Vec<(std::path::PathBuf, u32)>>;
+
+/// Collects the metric families registered by non-test library code:
+/// `<recv>.counter("name", …)`, `.histogram("name", …)` and
+/// `.series(Kind, "name", …)` call sites (the name is the first string
+/// literal in the argument list).
+pub fn collect_registered_metrics(files: &[&SourceFile]) -> RegisteredMetrics {
+    let mut out = RegisteredMetrics::new();
+    for file in files {
+        let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+        for (pos, token) in code.iter().enumerate() {
+            if token.kind != TokenKind::Ident
+                || !matches!(file.text_of(token), "counter" | "histogram" | "series")
+                || file.in_test_code(token.start)
+            {
+                continue;
+            }
+            let preceded_by_dot = pos > 0 && matches!(code[pos - 1].kind, TokenKind::Punct(b'.'));
+            let called = matches!(code.get(pos + 1).map(|t| t.kind), Some(TokenKind::Punct(b'(')));
+            if !preceded_by_dot || !called {
+                continue;
+            }
+            // First string literal inside the argument list is the name.
+            let mut depth = 0i32;
+            let mut k = pos + 1;
+            while k < code.len() {
+                match code[k].kind {
+                    TokenKind::Punct(b'(') => depth += 1,
+                    TokenKind::Punct(b')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Str => {
+                        if let Some(name) = code[k].str_content(&file.text) {
+                            if !name.is_empty() {
+                                out.entry(name.to_string())
+                                    .or_default()
+                                    .push((file.path.clone(), token.line));
+                            }
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Cross-checks docs/METRICS.md's catalogue tables against the
+/// registered metric families.
+pub fn check_metrics_doc(
+    doc_path: &Path,
+    doc_text: &str,
+    registered: &RegisteredMetrics,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let documented = parse_metrics_catalogue(doc_text);
+    if registered.is_empty() {
+        diags.push(Diagnostic {
+            rule: "metrics-doc-drift",
+            severity: Severity::Error,
+            path: doc_path.to_path_buf(),
+            line: 1,
+            col: 1,
+            message: "no registered metrics found in library code; the collector is broken"
+                .to_string(),
+        });
+        return diags;
+    }
+    for (name, sites) in registered {
+        if !documented.iter().any(|(doc_name, _)| doc_name == name) {
+            let (path, line) = &sites[0];
+            diags.push(Diagnostic {
+                rule: "metrics-doc-drift",
+                severity: Severity::Error,
+                path: path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "metric `{name}` is registered here but missing from {}'s catalogue",
+                    doc_path.display()
+                ),
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !registered.contains_key(name) {
+            diags.push(Diagnostic {
+                rule: "metrics-doc-drift",
+                severity: Severity::Error,
+                path: doc_path.to_path_buf(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "documented metric `{name}` is not registered by any library code"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Extracts `(metric name, line)` rows from the "Metric catalogue"
+/// section's tables.
+fn parse_metrics_catalogue(doc_text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_catalogue = false;
+    let mut in_fence = false;
+    for (idx, raw) in doc_text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_catalogue = heading.trim() == "Metric catalogue";
+            continue;
+        }
+        if !in_catalogue {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some((name, _)) = rest.split_once('`') {
+                out.push((name.to_string(), (idx + 1) as u32));
+            }
+        }
+    }
+    out
+}

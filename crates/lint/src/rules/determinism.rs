@@ -1,0 +1,143 @@
+//! Determinism rules: the coding restrictions that keep a fixed-seed
+//! session byte-identical run to run and thread-count-invariant. They
+//! apply to library code of the sim-facing crates only (`scan-sim`,
+//! `scan-sched`, `scan-cloud`, `scan-workload`, `scan-platform`); tests,
+//! benches and binaries may freely use wall clocks and hash maps.
+
+use super::{report, RuleCtx};
+use crate::diag::Diagnostic;
+use crate::lex::TokenKind;
+use crate::source::SourceFile;
+
+/// Identifiers whose mere presence in sim-facing library code is a
+/// determinism hazard, with the message explaining the sanctioned
+/// replacement.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "OsRng", "from_entropy", "temp_dir"];
+
+pub(super) fn check(file: &SourceFile, ctx: RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    if !ctx.determinism_scope() {
+        return;
+    }
+    // The self-profiler is the one sanctioned wall-clock consumer: it
+    // measures the simulator, never feeds the simulation.
+    let is_prof = ctx.crate_name == "scan-sim" && file.path.ends_with("prof.rs");
+
+    let code: Vec<(usize, &crate::lex::Token)> = file.code_tokens().collect();
+    for (pos, (_, token)) in code.iter().enumerate() {
+        if token.kind != TokenKind::Ident || file.in_test_code(token.start) {
+            continue;
+        }
+        let text = file.text_of(token);
+        if HASH_TYPES.contains(&text) {
+            report(
+                diags,
+                file,
+                token,
+                "hash-iter",
+                format!(
+                    "`{text}` in a sim path: iteration order varies per process, breaking \
+                     fixed-seed reproducibility; use BTreeMap/BTreeSet, a sorted Vec or an arena"
+                ),
+            );
+        }
+        if CLOCK_TYPES.contains(&text) && !is_prof {
+            report(
+                diags,
+                file,
+                token,
+                "wall-clock",
+                format!(
+                    "`{text}` in a sim path: wall-clock reads make runs time-dependent; simulation \
+                     time is `SimTime`, host-time profiling belongs in `scan_sim::prof`"
+                ),
+            );
+        }
+        if ENTROPY_IDENTS.contains(&text) {
+            report(
+                diags,
+                file,
+                token,
+                "os-entropy",
+                format!(
+                    "`{text}` in a sim path: OS entropy breaks fixed-seed determinism; derive all \
+                     randomness from the session's seeded `SimRng`"
+                ),
+            );
+        }
+        if text == "env" && is_path_prefix(file, &code, pos, "std") {
+            report(
+                diags,
+                file,
+                token,
+                "os-entropy",
+                "`std::env` read in a sim path: environment lookups make behaviour \
+                 machine-dependent; thread configuration through `ScanConfig` instead"
+                    .to_string(),
+            );
+        }
+        if text == "partial_cmp" && unwrapped_after_call(file, &code, pos) {
+            report(
+                diags,
+                file,
+                token,
+                "float-ord",
+                "`partial_cmp(..).unwrap()`-style float ordering in a sim path: NaN panics aside, \
+                 prefer `f64::total_cmp` (or an integer key) so comparisons are total and \
+                 portable"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Whether the ident at `pos` is preceded by `prefix ::`.
+fn is_path_prefix(
+    file: &SourceFile,
+    code: &[(usize, &crate::lex::Token)],
+    pos: usize,
+    prefix: &str,
+) -> bool {
+    if pos < 3 {
+        return false;
+    }
+    let (a, b, c) = (code[pos - 3].1, code[pos - 2].1, code[pos - 1].1);
+    matches!(b.kind, TokenKind::Punct(b':'))
+        && matches!(c.kind, TokenKind::Punct(b':'))
+        && a.kind == TokenKind::Ident
+        && file.text_of(a) == prefix
+}
+
+/// Whether the call starting right after the ident at `pos` — i.e.
+/// `partial_cmp( … )` — is followed by `.unwrap(` or `.expect(`.
+fn unwrapped_after_call(
+    file: &SourceFile,
+    code: &[(usize, &crate::lex::Token)],
+    pos: usize,
+) -> bool {
+    let mut k = pos + 1;
+    if !matches!(code.get(k).map(|(_, t)| t.kind), Some(TokenKind::Punct(b'('))) {
+        return false;
+    }
+    let mut depth = 0i32;
+    while k < code.len() {
+        match code[k].1.kind {
+            TokenKind::Punct(b'(') => depth += 1,
+            TokenKind::Punct(b')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let dot = code.get(k + 1).map(|(_, t)| t);
+    let method = code.get(k + 2).map(|(_, t)| t);
+    matches!(dot.map(|t| t.kind), Some(TokenKind::Punct(b'.')))
+        && method
+            .map(|t| t.kind == TokenKind::Ident && matches!(file.text_of(t), "unwrap" | "expect"))
+            .unwrap_or(false)
+}

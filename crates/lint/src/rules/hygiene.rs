@@ -1,0 +1,289 @@
+//! Hygiene rules: panic discipline in library code, documentation on
+//! every exported item, and no orphaned TODOs. The panic rules encode
+//! the house style rather than a blanket ban: `expect("descriptive
+//! invariant message")` is the sanctioned way to assert an invariant —
+//! the message *is* the justification — while bare `unwrap()`,
+//! tiny/empty expect messages and `panic!` need either a fix or an
+//! explicit `scan-lint: allow(…) -- reason`.
+
+use super::{report, RuleCtx};
+use crate::diag::Diagnostic;
+use crate::lex::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Minimum bytes an `expect` message must carry to count as an
+/// invariant statement.
+pub const MIN_EXPECT_MESSAGE: usize = 8;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+const ITEM_KEYWORDS: &[&str] =
+    &["fn", "struct", "enum", "trait", "static", "type", "mod", "union", "macro"];
+
+pub(super) fn check(file: &SourceFile, ctx: RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    check_todos(file, diags);
+    if !ctx.hygiene_scope() {
+        return;
+    }
+    check_panic_discipline(file, diags);
+    check_pub_docs(file, diags);
+}
+
+/// `stale-todo` — applies to every file class, comments included.
+fn check_todos(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for token in file.tokens.iter().filter(|t| t.is_comment()) {
+        let text = file.text_of(token);
+        // A marker immediately followed by a letter ("TODOs", "TODOLIST")
+        // is prose about TODOs, not a work marker.
+        let Some(marker) = ["TODO", "FIXME"].iter().find(|m| {
+            text.match_indices(**m).any(|(at, _)| {
+                !text[at + m.len()..].starts_with(|c: char| c.is_ascii_alphanumeric())
+            })
+        }) else {
+            continue;
+        };
+        let referenced = text.contains("http")
+            || text.as_bytes().windows(2).any(|w| w[0] == b'#' && w[1].is_ascii_digit());
+        if !referenced {
+            report(
+                diags,
+                file,
+                token,
+                "stale-todo",
+                format!(
+                    "`{marker}` without an issue reference; add `(#<issue>)` or a link, or do it \
+                     now"
+                ),
+            );
+        }
+    }
+}
+
+/// `no-unwrap` / `no-expect` / `no-panic` over non-test library code.
+fn check_panic_discipline(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    for (pos, token) in code.iter().enumerate() {
+        if token.kind != TokenKind::Ident || file.in_test_code(token.start) {
+            continue;
+        }
+        let text = file.text_of(token);
+        let prev_is_dot = pos > 0 && matches!(code[pos - 1].kind, TokenKind::Punct(b'.'));
+        let next_kind = |ahead: usize| code.get(pos + ahead).map(|t| t.kind);
+
+        if text == "unwrap"
+            && prev_is_dot
+            && next_kind(1) == Some(TokenKind::Punct(b'('))
+            && next_kind(2) == Some(TokenKind::Punct(b')'))
+        {
+            report(
+                diags,
+                file,
+                token,
+                "no-unwrap",
+                "bare `unwrap()` in library code; state the invariant with `expect(\"…\")` or \
+                 handle the failure"
+                    .to_string(),
+            );
+        }
+
+        if text == "expect" && prev_is_dot && next_kind(1) == Some(TokenKind::Punct(b'(')) {
+            // Only judge expect calls whose argument is a string literal:
+            // a non-literal argument may not even be Option::expect.
+            if let Some(arg) = code.get(pos + 2).filter(|t| t.kind == TokenKind::Str) {
+                let len = arg.str_content(&file.text).map(str::len).unwrap_or(0);
+                if len < MIN_EXPECT_MESSAGE {
+                    report(
+                        diags,
+                        file,
+                        token,
+                        "no-expect",
+                        format!(
+                            "expect message {:?} is too short to state an invariant (< \
+                             {MIN_EXPECT_MESSAGE} bytes); say what must hold and why",
+                            arg.str_content(&file.text).unwrap_or_default()
+                        ),
+                    );
+                }
+            }
+        }
+
+        if PANIC_MACROS.contains(&text) && next_kind(1) == Some(TokenKind::Punct(b'!')) {
+            report(
+                diags,
+                file,
+                token,
+                "no-panic",
+                format!(
+                    "`{text}!` in library code; return an error, make the state unrepresentable, \
+                     or document the contract and allow with a reason"
+                ),
+            );
+        }
+    }
+}
+
+/// `pub-docs` — every `pub` item outside test code needs a doc comment
+/// (possibly separated from the item by ordinary attributes).
+fn check_pub_docs(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (idx, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident
+            || file.text_of(token) != "pub"
+            || file.in_test_code(token.start)
+        {
+            continue;
+        }
+        let Some((kind, name)) = pub_item_after(file, idx) else { continue };
+        let (documented, hidden) = doc_state_before(file, idx);
+        if !documented && !hidden {
+            report(
+                diags,
+                file,
+                token,
+                "pub-docs",
+                format!("public {kind} `{name}` has no doc comment"),
+            );
+        }
+    }
+}
+
+/// Classifies the item following a `pub` token: returns `(kind, name)`
+/// for items the rule covers, `None` for re-exports, restricted
+/// visibility and shapes the tokenizer cannot classify (tuple fields).
+fn pub_item_after(file: &SourceFile, pub_idx: usize) -> Option<(&'static str, String)> {
+    let mut k = pub_idx + 1;
+    // `pub(crate)` / `pub(super)` / `pub(in …)` — not exported API.
+    if matches!(next_code(file, &mut k)?.kind, TokenKind::Punct(b'(')) {
+        return None;
+    }
+    // Skip modifier keywords (`pub const fn`, `pub async fn`, …) while
+    // remembering whether we saw `const` with no `fn` after it.
+    let mut saw_const = false;
+    loop {
+        let t = next_code(file, &mut k)?;
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        match file.text_of(t) {
+            "use" | "impl" | "extern" => return None,
+            "const" => {
+                saw_const = true;
+                k += 1;
+            }
+            "async" | "unsafe" => {
+                k += 1;
+            }
+            word if ITEM_KEYWORDS.contains(&word) => {
+                let kind: &'static str =
+                    ITEM_KEYWORDS.iter().find(|w| **w == word).copied().unwrap_or("item");
+                k += 1;
+                let name = next_code(file, &mut k)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| file.text_of(t).to_string())
+                    .unwrap_or_else(|| "<unnamed>".to_string());
+                if kind == "mod" {
+                    // Out-of-line `pub mod name;` carries its docs as
+                    // `//!` inner docs in the module file itself.
+                    k += 1;
+                    let out_of_line = matches!(
+                        next_code(file, &mut k).map(|t| t.kind),
+                        Some(TokenKind::Punct(b';'))
+                    );
+                    if out_of_line {
+                        return None;
+                    }
+                }
+                return Some((kind, name));
+            }
+            _ if saw_const => {
+                // `pub const NAME: …` — the ident is the const's name.
+                return Some(("const", file.text_of(t).to_string()));
+            }
+            _ => {
+                // `pub name: Type` — a named struct field.
+                let name = file.text_of(t).to_string();
+                k += 1;
+                let is_field =
+                    matches!(next_code(file, &mut k).map(|t| t.kind), Some(TokenKind::Punct(b':')));
+                return is_field.then_some(("field", name));
+            }
+        }
+    }
+}
+
+/// Returns the next non-comment token at or after `*k`, advancing `*k`
+/// to its index.
+fn next_code<'a>(file: &'a SourceFile, k: &mut usize) -> Option<&'a Token> {
+    while file.tokens.get(*k).map(|t| t.is_comment()).unwrap_or(false) {
+        *k += 1;
+    }
+    file.tokens.get(*k)
+}
+
+/// Walks backward from a `pub` token over stacked attributes to decide
+/// whether the item is documented (a doc comment directly above) or
+/// `#[doc(hidden)]`.
+fn doc_state_before(file: &SourceFile, pub_idx: usize) -> (bool, bool) {
+    let tokens = &file.tokens;
+    let mut k = pub_idx;
+    let mut documented = false;
+    let mut hidden = false;
+    while k > 0 {
+        let prev = &tokens[k - 1];
+        if prev.is_doc_comment() {
+            documented = true;
+            k -= 1;
+        } else if prev.is_comment() {
+            k -= 1;
+        } else if matches!(prev.kind, TokenKind::Punct(b']')) {
+            // Scan back over one `#[…]` attribute group.
+            let mut depth = 0i32;
+            let mut j = k - 1;
+            let mut attr_mentions_doc_hidden = (false, false);
+            loop {
+                let t = &tokens[j];
+                match t.kind {
+                    TokenKind::Punct(b']') => depth += 1,
+                    TokenKind::Punct(b'[') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident => {
+                        let text = file.text_of(t);
+                        if text == "doc" {
+                            attr_mentions_doc_hidden.0 = true;
+                        }
+                        if text == "hidden" {
+                            attr_mentions_doc_hidden.1 = true;
+                        }
+                    }
+                    _ => {}
+                }
+                if j == 0 {
+                    return (documented, hidden);
+                }
+                j -= 1;
+            }
+            if attr_mentions_doc_hidden == (true, true) {
+                hidden = true;
+            } else if attr_mentions_doc_hidden.0 {
+                // `#[doc = "…"]` counts as documentation.
+                documented = true;
+            }
+            // Step past the `#` (and a possible `!`) before the `[`.
+            k = j;
+            if k > 0 && matches!(tokens[k - 1].kind, TokenKind::Punct(b'#')) {
+                k -= 1;
+            } else if k > 1
+                && matches!(tokens[k - 1].kind, TokenKind::Punct(b'!'))
+                && matches!(tokens[k - 2].kind, TokenKind::Punct(b'#'))
+            {
+                k -= 2;
+            }
+        } else {
+            break;
+        }
+    }
+    (documented, hidden)
+}

@@ -1,0 +1,214 @@
+//! A lexed source file plus the structural facts the rules share: which
+//! byte regions are test-only code (`#[cfg(test)]` / `#[test]` items),
+//! and where the file's `scan-lint: allow(…)` directives sit.
+
+use crate::lex::{tokenize, Token, TokenKind};
+use std::path::PathBuf;
+
+/// What kind of compilation target a file belongs to. Rules scope
+/// themselves by class: determinism and hygiene rules run on `Library`
+/// code only — tests, benches and binaries are allowed wall clocks,
+/// `unwrap()` and stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Part of a `lib` target (the code other crates can depend on).
+    Library,
+    /// A `src/bin/`, `main.rs` or `examples/` target.
+    Binary,
+    /// A criterion bench (or any file of the bench-harness crate).
+    Bench,
+    /// An integration-test file or a file-level test module.
+    Test,
+}
+
+/// One lexed source file, ready for rule passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative when scanned
+    /// through [`crate::workspace`]).
+    pub path: PathBuf,
+    /// The raw source text.
+    pub text: String,
+    /// All tokens, comments included, in source order.
+    pub tokens: Vec<Token>,
+    /// Byte ranges that belong to `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and computes the test-region map.
+    pub fn new(path: PathBuf, text: String) -> Self {
+        let tokens = tokenize(&text);
+        let test_regions = find_test_regions(&text, &tokens);
+        SourceFile { path, text, tokens, test_regions }
+    }
+
+    /// Whether the byte offset falls inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| (s..e).contains(&offset))
+    }
+
+    /// The token's text.
+    pub fn text_of(&self, token: &Token) -> &str {
+        token.text(&self.text)
+    }
+
+    /// Iterates non-comment tokens with their indices into
+    /// [`SourceFile::tokens`].
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens.iter().enumerate().filter(|(_, t)| !t.is_comment())
+    }
+}
+
+/// Finds the byte spans of items marked test-only: an attribute whose
+/// tokens include the `test` identifier (`#[cfg(test)]`, `#[cfg(any(test,
+/// …))]`, `#[test]`) marks the item that follows it, up to the close of
+/// its first top-level brace block or its terminating semicolon.
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(matches!(code[i].kind, TokenKind::Punct(b'#'))
+            && i + 1 < code.len()
+            && matches!(code[i + 1].kind, TokenKind::Punct(b'[')))
+        {
+            i += 1;
+            continue;
+        }
+        let attr_start = code[i].start;
+        let (attr_end_idx, is_test) = scan_attribute(src, &code, i + 1);
+        let mut j = attr_end_idx;
+        if is_test {
+            // Skip any further attributes stacked on the same item.
+            while j + 1 < code.len()
+                && matches!(code[j].kind, TokenKind::Punct(b'#'))
+                && matches!(code[j + 1].kind, TokenKind::Punct(b'['))
+            {
+                let (next, _) = scan_attribute(src, &code, j + 1);
+                j = next;
+            }
+            let item_end = scan_item_end(&code, j);
+            regions.push((attr_start, item_end));
+            // Continue *after* the whole marked item so nested attributes
+            // inside it are not re-scanned.
+            while j < code.len() && code[j].start < item_end {
+                j += 1;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+/// Scans the bracketed attribute starting at the `[` token index.
+/// Returns the index just past the closing `]` and whether the attribute
+/// mentions the `test` identifier.
+fn scan_attribute(src: &str, code: &[&Token], open_idx: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut is_test = false;
+    let mut k = open_idx;
+    while k < code.len() {
+        match code[k].kind {
+            TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, is_test);
+                }
+            }
+            TokenKind::Ident if code[k].text(src) == "test" => is_test = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (k, is_test)
+}
+
+/// Scans forward from an item's first token to its end: the close of its
+/// first top-level `{…}` block, or a `;` outside any braces. Returns the
+/// end byte offset.
+fn scan_item_end(code: &[&Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < code.len() {
+        match code[k].kind {
+            TokenKind::Punct(b'{') => depth += 1,
+            TokenKind::Punct(b'}') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return code[k].end;
+                }
+            }
+            TokenKind::Punct(b';') if depth == 0 => return code[k].end,
+            _ => {}
+        }
+        k += 1;
+    }
+    code.last().map(|t| t.end).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from("x.rs"), src.to_string())
+    }
+
+    fn offset_of(f: &SourceFile, needle: &str) -> usize {
+        f.text.find(needle).unwrap_or_else(|| panic!("{needle} not in source"))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let f = file(
+            "pub fn lib_code() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { body(); }\n}\n\
+             pub fn more_lib() {}\n",
+        );
+        assert!(!f.in_test_code(offset_of(&f, "lib_code")));
+        assert!(f.in_test_code(offset_of(&f, "helper")));
+        assert!(f.in_test_code(offset_of(&f, "body")));
+        assert!(!f.in_test_code(offset_of(&f, "more_lib")));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let f = file(
+            "#[test]\n#[should_panic(expected = \"boom\")]\nfn explodes() { trigger(); }\n\
+             fn ordinary() {}\n",
+        );
+        assert!(f.in_test_code(offset_of(&f, "trigger")));
+        assert!(!f.in_test_code(offset_of(&f, "ordinary")));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let f = file("#[cfg(any(test, feature = \"slow\"))]\nfn gated() { g(); }\nfn free() {}\n");
+        assert!(f.in_test_code(offset_of(&f, "g();")));
+        assert!(!f.in_test_code(offset_of(&f, "free")));
+    }
+
+    #[test]
+    fn non_test_attributes_mark_nothing() {
+        let f = file("#[derive(Debug, Clone)]\npub struct S { pub x: u32 }\n");
+        assert!(!f.in_test_code(offset_of(&f, "x")));
+    }
+
+    #[test]
+    fn semicolon_items_end_the_region() {
+        let f = file("#[cfg(test)]\nmod tests;\nfn after() {}\n");
+        assert!(!f.in_test_code(offset_of(&f, "after")));
+        assert!(f.in_test_code(offset_of(&f, "mod tests")));
+    }
+
+    #[test]
+    fn const_with_braced_initializer() {
+        // The region scanner ends at the close of the first brace block,
+        // which for a braced initializer is slightly early — but never
+        // late, so following items are never swallowed.
+        let f = file("#[cfg(test)]\nconst X: P = P { a: 1 };\nfn after() {}\n");
+        assert!(!f.in_test_code(offset_of(&f, "after")));
+    }
+}

@@ -1,0 +1,257 @@
+//! Workspace discovery and the full analyzer run.
+//!
+//! Discovery is filesystem-based and deliberately simple: every
+//! `crates/*/` directory with a `Cargo.toml` is a member crate, plus the
+//! root `scan` package (`src/`, `tests/`, `examples/`). The vendored
+//! `compat/` stand-ins are out of scope (they mimic external crates and
+//! follow those crates' conventions), as is `crates/lint/tests/fixtures`
+//! (deliberate violations used as test inputs).
+
+use crate::diag::Diagnostic;
+use crate::rules::{self, consistency, RuleCtx};
+use crate::source::{FileClass, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates on the simulation path: determinism rules apply to their
+/// library code. Everything else (kb, genomics, metrics, bench, lint,
+/// the root facade) is free to use wall clocks and hash maps.
+pub const SIM_FACING_CRATES: &[&str] =
+    &["scan-sim", "scan-sched", "scan-cloud", "scan-workload", "scan-platform"];
+
+/// One discovered source file with the facts the rules scope by.
+pub struct WorkspaceFile {
+    /// Lexed source, `path` workspace-relative.
+    pub file: SourceFile,
+    /// Target class the path implies.
+    pub class: FileClass,
+    /// Owning Cargo package name.
+    pub crate_name: String,
+}
+
+impl WorkspaceFile {
+    /// The rule context for this file.
+    pub fn ctx(&self) -> RuleCtx<'_> {
+        RuleCtx {
+            class: self.class,
+            crate_name: &self.crate_name,
+            sim_facing: SIM_FACING_CRATES.contains(&self.crate_name.as_str()),
+        }
+    }
+}
+
+/// The loaded workspace: every in-scope source file plus the two
+/// reference documents.
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All discovered files, sorted by path.
+    pub files: Vec<WorkspaceFile>,
+    /// `docs/TRACE_SCHEMA.md` content, if present.
+    pub trace_schema: Option<String>,
+    /// `docs/METRICS.md` content, if present.
+    pub metrics_doc: Option<String>,
+}
+
+/// Outcome of a full run.
+pub struct RunResult {
+    /// All findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Workspace {
+    /// Discovers and lexes every in-scope source file under `root`.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut files = Vec::new();
+
+        let crates_dir = root.join("crates");
+        for crate_dir in sorted_dirs(&crates_dir)? {
+            let manifest = crate_dir.join("Cargo.toml");
+            let Ok(manifest_text) = fs::read_to_string(&manifest) else { continue };
+            let crate_name = package_name(&manifest_text).unwrap_or_else(|| {
+                crate_dir.file_name().unwrap_or_default().to_string_lossy().into_owned()
+            });
+            collect_crate(root, &crate_dir, &crate_name, &mut files)?;
+        }
+
+        // The root `scan` facade package.
+        for (dir, class) in [
+            ("src", FileClass::Library),
+            ("tests", FileClass::Test),
+            ("examples", FileClass::Binary),
+        ] {
+            collect_rs(root, &root.join(dir), class, "scan", &mut files)?;
+        }
+
+        files.sort_by(|a, b| a.file.path.cmp(&b.file.path));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            trace_schema: fs::read_to_string(root.join("docs/TRACE_SCHEMA.md")).ok(),
+            metrics_doc: fs::read_to_string(root.join("docs/METRICS.md")).ok(),
+        })
+    }
+
+    /// Runs every rule over the loaded workspace.
+    pub fn run(&self) -> RunResult {
+        let mut diagnostics = Vec::new();
+        for wf in &self.files {
+            diagnostics.extend(rules::check_file(&wf.file, wf.ctx()));
+        }
+        diagnostics.extend(self.check_consistency());
+        diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        RunResult { diagnostics, files_scanned: self.files.len() }
+    }
+
+    /// The workspace-level doc–code consistency checks.
+    fn check_consistency(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+
+        let trace_src = self
+            .files
+            .iter()
+            .find(|wf| wf.crate_name == "scan-sim" && wf.file.path.ends_with("src/trace.rs"));
+        match (&self.trace_schema, trace_src) {
+            (Some(doc), Some(src)) => {
+                let model = consistency::parse_trace_model(&src.file);
+                diags.extend(consistency::check_trace_schema(
+                    Path::new("docs/TRACE_SCHEMA.md"),
+                    doc,
+                    &src.file.path,
+                    &model,
+                ));
+            }
+            (None, _) => diags.push(missing_doc("docs/TRACE_SCHEMA.md")),
+            (_, None) => diags.push(missing_doc("crates/sim/src/trace.rs")),
+        }
+
+        match &self.metrics_doc {
+            Some(doc) => {
+                let lib_files: Vec<&SourceFile> = self
+                    .files
+                    .iter()
+                    .filter(|wf| wf.class == FileClass::Library)
+                    .map(|wf| &wf.file)
+                    .collect();
+                let registered = consistency::collect_registered_metrics(&lib_files);
+                diags.extend(consistency::check_metrics_doc(
+                    Path::new("docs/METRICS.md"),
+                    doc,
+                    &registered,
+                ));
+            }
+            None => diags.push(missing_doc("docs/METRICS.md")),
+        }
+        diags
+    }
+}
+
+fn missing_doc(path: &str) -> Diagnostic {
+    Diagnostic {
+        rule: if path.contains("METRICS") { "metrics-doc-drift" } else { "trace-doc-drift" },
+        severity: crate::diag::Severity::Error,
+        path: PathBuf::from(path),
+        line: 1,
+        col: 1,
+        message: "reference file is missing; consistency cannot be checked".to_string(),
+    }
+}
+
+/// Collects a member crate's files: `src/` (library, with `src/bin` and
+/// `src/main.rs` as binaries), `tests/`, `benches/`. The whole
+/// `scan-bench` crate is harness code and classes as `Bench`.
+fn collect_crate(
+    root: &Path,
+    crate_dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<WorkspaceFile>,
+) -> io::Result<()> {
+    let lib_class = if crate_name == "scan-bench" { FileClass::Bench } else { FileClass::Library };
+    collect_rs(root, &crate_dir.join("src"), lib_class, crate_name, out)?;
+    collect_rs(root, &crate_dir.join("tests"), FileClass::Test, crate_name, out)?;
+    collect_rs(root, &crate_dir.join("benches"), FileClass::Bench, crate_name, out)?;
+    Ok(())
+}
+
+/// Recursively collects `.rs` files under `dir`, refining `class` for
+/// binary targets and skipping the lint fixtures.
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    class: FileClass,
+    crate_name: &str,
+    out: &mut Vec<WorkspaceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") && crate_name == "scan-lint" {
+                continue;
+            }
+            let sub_class = if path.file_name().is_some_and(|n| n == "bin") {
+                FileClass::Binary
+            } else {
+                class
+            };
+            collect_rs(root, &path, sub_class, crate_name, out)?;
+            continue;
+        }
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let file_class =
+            if class == FileClass::Library && path.file_name().is_some_and(|n| n == "main.rs") {
+                FileClass::Binary
+            } else {
+                class
+            };
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        out.push(WorkspaceFile {
+            file: SourceFile::new(rel, text),
+            class: file_class,
+            crate_name: crate_name.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Immediate subdirectories of `dir`, sorted for deterministic output.
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Extracts `name = "…"` from a manifest's `[package]` table.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(table) = line.strip_prefix('[') {
+            in_package = table.trim_end_matches(']') == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}

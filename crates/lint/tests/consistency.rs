@@ -1,0 +1,166 @@
+//! Doc–code drift detection: synthetic drift in each direction must be
+//! caught, and the real committed tree must parse non-vacuously.
+
+use scan_lint::rules::consistency::{
+    check_metrics_doc, check_trace_schema, collect_registered_metrics, parse_trace_model,
+    RegisteredMetrics,
+};
+use scan_lint::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+const CODE: &str = r#"
+/// Events.
+pub enum TraceEvent {
+    /// A job arrived.
+    JobArrived { job: u64, tasks: u32 },
+    /// A VM was hired.
+    VmHired { vm: u64 },
+}
+
+impl TraceEvent {
+    /// Stable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::JobArrived { .. } => "job_arrived",
+            Self::VmHired { .. } => "vm_hired",
+        }
+    }
+}
+"#;
+
+const DOC: &str = "\
+# Trace schema
+
+## Event catalogue
+
+### `job_arrived` — `TraceEvent::JobArrived`
+
+| field | type | meaning |
+|---|---|---|
+| `job` | u64 | job id |
+| `tasks` | u32 | task count |
+
+### `vm_hired` — `TraceEvent::VmHired`
+
+| field | type | meaning |
+|---|---|---|
+| `vm` | u64 | vm id |
+";
+
+fn trace_diags(doc: &str, code: &str) -> Vec<String> {
+    let src = SourceFile::new(PathBuf::from("trace.rs"), code.to_string());
+    let model = parse_trace_model(&src);
+    check_trace_schema(Path::new("SCHEMA.md"), doc, Path::new("trace.rs"), &model)
+        .into_iter()
+        .map(|d| d.render())
+        .collect()
+}
+
+#[test]
+fn matching_schema_is_clean() {
+    assert_eq!(trace_diags(DOC, CODE), Vec::<String>::new());
+}
+
+#[test]
+fn undocumented_variant_is_drift() {
+    let doc = DOC.split("### `vm_hired`").next().expect("doc splits");
+    let out = trace_diags(doc, CODE);
+    assert!(out.iter().any(|d| d.contains("VmHired has no section")), "{out:?}");
+}
+
+#[test]
+fn phantom_section_is_drift() {
+    let doc = format!("{DOC}\n### `vm_lost` — `TraceEvent::VmLost`\n");
+    let out = trace_diags(&doc, CODE);
+    assert!(out.iter().any(|d| d.contains("TraceEvent::VmLost does not exist")), "{out:?}");
+}
+
+#[test]
+fn kind_tag_mismatch_is_drift() {
+    let doc = DOC.replace("### `vm_hired`", "### `vm_acquired`");
+    let out = trace_diags(&doc, CODE);
+    assert!(out.iter().any(|d| d.contains("disagrees with TraceEvent::kind")), "{out:?}");
+}
+
+#[test]
+fn missing_field_row_is_drift() {
+    let doc = DOC.replace("| `tasks` | u32 | task count |\n", "");
+    let out = trace_diags(&doc, CODE);
+    assert!(out.iter().any(|d| d.contains("missing a row for field `tasks`")), "{out:?}");
+}
+
+#[test]
+fn phantom_field_row_is_drift() {
+    let doc =
+        DOC.replace("| `vm` | u64 | vm id |", "| `vm` | u64 | vm id |\n| `ghost` | u8 | n/a |");
+    let out = trace_diags(&doc, CODE);
+    assert!(out.iter().any(|d| d.contains("documented field `ghost` does not exist")), "{out:?}");
+}
+
+const METRICS_DOC: &str = "\
+# Metrics
+
+## Metric catalogue
+
+| name | unit |
+|---|---|
+| `jobs_done` | count |
+
+## Export formats
+
+| `not_a_metric` | this table is outside the catalogue |
+";
+
+fn registered(names: &[&str]) -> RegisteredMetrics {
+    names.iter().map(|n| (n.to_string(), vec![(PathBuf::from("meters.rs"), 1)])).collect()
+}
+
+#[test]
+fn matching_metrics_doc_is_clean() {
+    let out = check_metrics_doc(Path::new("M.md"), METRICS_DOC, &registered(&["jobs_done"]));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unregistered_documented_metric_is_drift() {
+    let out = check_metrics_doc(Path::new("M.md"), METRICS_DOC, &registered(&["other"]));
+    let rendered: Vec<String> = out.iter().map(|d| d.render()).collect();
+    assert!(rendered.iter().any(|d| d.contains("`jobs_done` is not registered")), "{rendered:?}");
+    assert!(rendered.iter().any(|d| d.contains("`other` is registered here")), "{rendered:?}");
+}
+
+#[test]
+fn registration_sites_are_collected_outside_tests_only() {
+    let src = SourceFile::new(
+        PathBuf::from("meters.rs"),
+        r#"
+fn wire(reg: &mut Registry) {
+    reg.counter("live_metric", "u");
+    reg.histogram("lat_metric", "tu");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        reg.counter("test_only_metric", "u");
+    }
+}
+"#
+        .to_string(),
+    );
+    let got = collect_registered_metrics(&[&src]);
+    let names: Vec<&str> = got.keys().map(String::as_str).collect();
+    assert_eq!(names, ["lat_metric", "live_metric"]);
+}
+
+#[test]
+fn real_trace_model_parses_non_vacuously() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("crates/sim/src/trace.rs");
+    let text = std::fs::read_to_string(&path).expect("trace.rs exists at the workspace root");
+    let model = parse_trace_model(&SourceFile::new(path, text));
+    assert!(model.variants.len() >= 10, "only {} variants parsed", model.variants.len());
+    assert_eq!(model.variants.len(), model.kinds.len(), "every variant has a kind arm");
+    assert!(!model.choice_names.is_empty(), "ScalingChoice labels parsed");
+}

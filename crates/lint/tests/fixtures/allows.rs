@@ -1,0 +1,29 @@
+//! Allow-machinery fixture: exercises suppression, bad-allow and
+//! unused-allow.
+
+/// Suppressed cleanly: nothing from this function reaches the report.
+pub fn sanctioned(x: Option<u32>) -> u32 {
+    x.unwrap() // scan-lint: allow(no-unwrap) -- fixture: trailing allow on the same line
+}
+
+/// Suppressed cleanly by a directive on the line above.
+pub fn sanctioned_above(x: Option<u32>) -> u32 {
+    // scan-lint: allow(no-unwrap) -- fixture: standalone allow covering the next line
+    x.unwrap()
+}
+
+/// Fires bad-allow (no reason) and the no-unwrap survives.
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // scan-lint: allow(no-unwrap)
+}
+
+/// Fires bad-allow: names a rule that does not exist.
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    x.unwrap() // scan-lint: allow(no-such-rule) -- misspelled rule id
+}
+
+/// Fires unused-allow: there is nothing to suppress here.
+pub fn nothing_to_excuse() -> u32 {
+    // scan-lint: allow(no-panic) -- fixture: stale escape hatch
+    7
+}

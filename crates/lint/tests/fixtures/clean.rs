@@ -1,0 +1,36 @@
+//! Clean fixture: a sim-facing library file with nothing to report.
+
+use std::collections::BTreeMap;
+
+/// Deterministic state: ordered containers, no clocks, no entropy.
+#[derive(Default)]
+pub struct Ledger {
+    /// Balances keyed by account, iterated in key order.
+    pub balances: BTreeMap<u64, i64>,
+}
+
+impl Ledger {
+    /// Applies a delta, creating the account on first touch.
+    pub fn apply(&mut self, account: u64, delta: i64) -> i64 {
+        let slot = self.balances.entry(account).or_insert(0);
+        *slot += delta;
+        *slot
+    }
+
+    /// Largest balance, ties broken by lowest account id.
+    pub fn richest(&self) -> Option<(u64, i64)> {
+        self.balances.iter().map(|(k, v)| (*k, *v)).max_by_key(|(k, v)| (*v, std::cmp::Reverse(*k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_accumulates() {
+        let mut ledger = Ledger::default();
+        ledger.apply(1, 5);
+        assert_eq!(ledger.apply(1, -2), 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Determinism fixture: every finding below is intentional. Checked as
+//! library code of a sim-facing crate.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Container of intentional hazards.
+pub struct State {
+    /// Fires hash-iter.
+    pub slots: HashMap<u64, u64>,
+    /// Fires hash-iter.
+    pub seen: HashSet<u64>,
+    /// Fine: ordered map.
+    pub ordered: BTreeMap<u64, u64>,
+}
+
+/// Fires wall-clock twice (Instant + SystemTime).
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+/// Fine: Duration is a value type, not a clock read.
+pub fn pause() -> Duration {
+    Duration::from_millis(1)
+}
+
+/// Fires os-entropy twice (thread_rng + std::env read).
+pub fn entropy() -> bool {
+    let _ = rand::thread_rng();
+    std::env::var("SCAN_SEED").is_ok()
+}
+
+/// Fires float-ord once: partial_cmp fed straight into unwrap.
+pub fn float_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Fine: total_cmp is the sanctioned ordering.
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+#[cfg(test)]
+mod tests {
+    /// Fine: tests may use anything.
+    #[test]
+    fn hash_in_tests_is_fine() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, std::time::Instant::now());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Hygiene fixture: every finding below is intentional.
+
+// TODO tie the loose ends here
+// TODO(#42) fine: carries an issue reference
+// FIXME see https://example.com/ticket fine: carries a link
+
+/// Documented, so only the body findings fire.
+pub fn body_findings(x: Option<u32>) -> u32 {
+    // Fires no-unwrap.
+    let a = x.unwrap();
+    // Fires no-expect: message too short to state an invariant.
+    let b = x.expect("set");
+    // Fine: the message states the invariant.
+    let c = x.expect("caller checked is_some above");
+    a + b + c
+}
+
+/// Fires no-panic three times.
+pub fn panics(kind: u8) {
+    match kind {
+        0 => panic!("boom"),
+        1 => todo!(),
+        _ => unimplemented!(),
+    }
+}
+
+// Fires pub-docs: no doc comment.
+pub struct Undocumented {
+    /// Documented field is fine.
+    pub fine: u32,
+    // Fires pub-docs: field without docs.
+    pub bare: u32,
+}
+
+/// Fine: restricted visibility is not exported API.
+pub(crate) fn internal() {}
+
+#[doc(hidden)]
+pub fn hidden_is_exempt() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -22,7 +22,7 @@
 //! time is raw `f64` TU, and the platform crates do the wiring.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod hist;

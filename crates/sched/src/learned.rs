@@ -82,7 +82,7 @@ impl EpsilonGreedyPlanner {
         self.means
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("profits are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty arms")
     }

@@ -28,7 +28,7 @@
 //! same seed produce bit-identical event orders regardless of host machine.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod calendar;
 pub mod engine;

@@ -146,6 +146,7 @@ impl SimDuration {
 impl Eq for SimTime {}
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
+        // scan-lint: allow(float-ord) -- NaN rejected at construction; total_cmp reorders ±0.0
         self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
@@ -158,6 +159,7 @@ impl PartialOrd for SimTime {
 impl Eq for SimDuration {}
 impl Ord for SimDuration {
     fn cmp(&self, other: &Self) -> Ordering {
+        // scan-lint: allow(float-ord) -- NaN rejected at construction; total_cmp reorders ±0.0
         self.0.partial_cmp(&other.0).expect("SimDuration is never NaN")
     }
 }

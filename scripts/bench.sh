@@ -30,7 +30,7 @@ done
 
 benches=(session)
 if [[ "$quick" == 0 ]]; then
-    benches+=(dispatch hiring metrics)
+    benches+=(dispatch hiring metrics lint)
 fi
 
 raw="$(mktemp)"

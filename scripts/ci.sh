@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 
 quick="${1:-}"
 
+echo "==> scan-lint --deny-warnings (determinism + hygiene + doc drift)"
+cargo run -q -p scan-lint -- --deny-warnings
+
 if [[ "$quick" != "quick" ]]; then
     echo "==> cargo build --release (tier-1)"
     cargo build --release
@@ -27,6 +30,17 @@ cargo bench --workspace --no-run --quiet
 
 echo "==> metrics determinism (parallel merge == sequential fold)"
 cargo test -q -p scan-platform instrument::tests::merged_export_is_identical_to_sequential_fold
+
+if [[ "$quick" != "quick" ]]; then
+    echo "==> trace determinism (two fixed-seed runs, byte-identical traces)"
+    t1="$(mktemp)"; t2="$(mktemp)"
+    trap 'rm -f "$t1" "$t2"' EXIT
+    SCAN_HORIZON=300 SCAN_REPS=1 cargo run -q --release -p scan-bench --bin fig4 -- \
+        --quick --trace "$t1" >/dev/null
+    SCAN_HORIZON=300 SCAN_REPS=1 cargo run -q --release -p scan-bench --bin fig4 -- \
+        --quick --trace "$t2" >/dev/null
+    cmp "$t1" "$t2" || { echo "FAIL: fixed-seed trace differs between runs" >&2; exit 1; }
+fi
 
 echo "==> metrics overhead bench (run-gate: disabled hot path must execute)"
 cargo bench -p scan-bench --bench metrics >/dev/null

@@ -10,6 +10,7 @@
 //! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Discrete-event simulation kernel (clock, calendar, RNG, statistics).
 pub use scan_sim as sim;
