@@ -10,14 +10,18 @@
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; see the crate docs.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; see the crate docs. Registers the `#[serde(...)]`
+/// helper attribute (as real serde does) so field annotations like
+/// `#[serde(default)]` parse even though the expansion ignores them.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; see the crate docs.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; see the crate docs. Registers the `#[serde(...)]`
+/// helper attribute (as real serde does) so field annotations like
+/// `#[serde(default)]` parse even though the expansion ignores them.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 
 use scan_platform::config::{ScanConfig, VariableParams};
+use scan_platform::fleet::FleetConfig;
 use scan_platform::instrument::{run_session_instrumented, DEFAULT_WINDOW_TU};
 use scan_platform::metrics::ReplicatedMetrics;
 use scan_platform::session::run_session_traced;
 use scan_platform::sweep::run_replicated;
+use scan_sched::scaling::ScalingPolicy;
 use std::path::{Path, PathBuf};
 
 /// Default repetitions: the paper's "all measurements were repeated 10
@@ -41,6 +43,24 @@ pub fn run_cell(variable: VariableParams, sim_time: f64, reps: u64) -> Replicate
     let mut cfg = ScanConfig::new(variable, EXPERIMENT_SEED);
     cfg.fixed.sim_time_tu = sim_time;
     run_replicated(&cfg, reps)
+}
+
+/// The standard benchmarked fleet shape at `tenants` tenants: fig4's
+/// predictive cell as the per-tenant config, four jobs per tenant, and a
+/// shared private pool of one solo tier (624 cores) or two cores per
+/// tenant, whichever is larger — contention stays constant-per-tenant as
+/// the fleet grows, so every fleet drains well before the backstop and
+/// jobs/sec is comparable across scales. Used by the `fleet` bin (CI
+/// smoke + ledger) and the `fleet` criterion bench.
+pub fn fleet_cfg(tenants: u16) -> FleetConfig {
+    let mut base =
+        ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.5), EXPERIMENT_SEED);
+    // A backstop only: run-to-completion fleets drain long before this.
+    base.fixed.sim_time_tu = 2_000.0;
+    let mut cfg = FleetConfig::new(base, tenants);
+    cfg.jobs_per_tenant = 4;
+    cfg.shared_private_cores = cfg.shared_private_cores.max(tenants as u32 * 2);
+    cfg
 }
 
 /// Formats `mean ± σ` to two decimals.

@@ -17,6 +17,9 @@
 //!   VM's hired lifetime, queryable mid-run.
 //! * [`storage`] — the shared filesystem/database stand-in (CIFS +
 //!   Cassandra in the prototype): datasets with simulated staging latency.
+//! * [`shared`] — multi-tenant fleet mode: one finite private pool
+//!   arbitrated across N tenant providers, with contention-sensitive
+//!   surge pricing on the public tier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@
 pub mod billing;
 pub mod instance;
 pub mod provider;
+pub mod shared;
 pub mod storage;
 pub mod tier;
 pub mod vm;
@@ -31,6 +35,7 @@ pub mod vm;
 pub use billing::CostLedger;
 pub use instance::{InstanceSize, INSTANCE_SIZES};
 pub use provider::{CloudProvider, HireError};
+pub use shared::{SharedCapacity, SharedLease, SurgePricing};
 pub use storage::SharedStore;
 pub use tier::{Tier, TierCatalog, TierId};
 pub use vm::{boot_penalty, Vm, VmId, VmState, BOOT_PENALTY_TU};

@@ -3,10 +3,11 @@
 //! commands" to (§III-B).
 
 use crate::instance::InstanceSize;
+use crate::shared::SharedLease;
 use crate::tier::{BillingMode, TierCatalog, TierId};
 use crate::vm::{Vm, VmId, VmState};
 use scan_metrics::{CounterId, HistogramId, Metrics};
-use scan_sim::{SimDuration, SimTime, TraceEvent, Tracer};
+use scan_sim::{SimDuration, SimTime, TenantId, TraceEvent, Tracer};
 use std::fmt;
 
 /// Metric ids the provider records through (present only when a metrics
@@ -69,6 +70,15 @@ pub struct CloudProvider {
     settled_core_tu_by_tier: Vec<f64>,
     /// VMs ever hired (diagnostic).
     hired_total: u64,
+    /// Per-VM price captured at hire time (slot-parallel to `vms`). For
+    /// a solo provider this is always the catalogue price; under a
+    /// shared lease the public tier's surge multiplier is folded in at
+    /// hire, and the VM keeps its launch price for life.
+    price_per_core_tu: Vec<f64>,
+    /// Fleet mode: the shared capacity pool and this provider's tenant
+    /// identity within it. `None` for single-tenant sessions, whose
+    /// capacity checks and billing are exactly the pre-fleet arithmetic.
+    lease: Option<(SharedLease, TenantId)>,
     /// Lifecycle event sink (disabled by default; see [`Tracer`]).
     tracer: Tracer,
     /// Metric ids (absent unless a registry is attached).
@@ -88,9 +98,30 @@ impl CloudProvider {
             settled_cost_by_tier: vec![0.0; n],
             settled_core_tu_by_tier: vec![0.0; n],
             hired_total: 0,
+            price_per_core_tu: Vec::new(),
+            lease: None,
             tracer: Tracer::disabled(),
             meters: None,
         }
+    }
+
+    /// Puts this provider on a shared capacity pool as `tenant`: hires on
+    /// capacity-bounded tiers reserve from the pool (arbitrated across
+    /// all leaseholders), and unbounded tiers are priced with the pool's
+    /// contention-sensitive surge multiplier at hire time.
+    pub fn attach_shared(&mut self, lease: SharedLease, tenant: TenantId) {
+        self.lease = Some((lease, tenant));
+    }
+
+    /// The tenant identity under the shared lease ([`TenantId::SOLO`]
+    /// when unleased).
+    pub fn tenant(&self) -> TenantId {
+        self.lease.as_ref().map_or(TenantId::SOLO, |(_, t)| *t)
+    }
+
+    /// The shared pool this provider draws from, if any.
+    pub fn shared(&self) -> Option<&SharedLease> {
+        self.lease.as_ref().map(|(l, _)| l)
     }
 
     /// Routes VM lifecycle events (hire / reshape / release) to `tracer`'s
@@ -149,10 +180,19 @@ impl CloudProvider {
         self.cores_in_use[tier.0]
     }
 
-    /// Free cores on a tier (`u32::MAX` for unbounded tiers).
+    /// Free cores on a tier (`u32::MAX` for unbounded tiers). Under a
+    /// shared lease a bounded tier is additionally capped by what is left
+    /// in the shared pool, so the answer already reflects other tenants'
+    /// reservations.
     pub fn free_cores(&self, tier: TierId) -> u32 {
         match self.catalog.get(tier).capacity_cores {
-            Some(cap) => cap.saturating_sub(self.cores_in_use[tier.0]),
+            Some(cap) => {
+                let local = cap.saturating_sub(self.cores_in_use[tier.0]);
+                match &self.lease {
+                    Some((lease, _)) => local.min(lease.borrow().free_private()),
+                    None => local,
+                }
+            }
             None => u32::MAX,
         }
     }
@@ -185,6 +225,26 @@ impl CloudProvider {
         if !self.has_capacity(tier, size) {
             return Err(HireError::NoCapacity);
         }
+        let bounded = self.catalog.get(tier).capacity_cores.is_some();
+        let base_price = self.catalog.get(tier).cost_per_core_tu;
+        let price = match &self.lease {
+            Some((lease, tenant)) => {
+                let mut pool = lease.borrow_mut();
+                if bounded {
+                    if !pool.try_reserve_private(*tenant, size.cores()) {
+                        return Err(HireError::NoCapacity);
+                    }
+                    base_price
+                } else {
+                    // Lock the contention-priced launch rate in before
+                    // this hire raises the pressure.
+                    let quoted = base_price * pool.public_price_multiplier();
+                    pool.add_public(size.cores());
+                    quoted
+                }
+            }
+            None => base_price,
+        };
         let id = VmId(self.vms.len() as u32);
         let vm = Vm::hire(id, tier, size, now);
         let ready_at = match vm.state {
@@ -194,6 +254,7 @@ impl CloudProvider {
         self.cores_in_use[tier.0] += size.cores();
         self.hired_total += 1;
         self.vms.push(Some(vm));
+        self.price_per_core_tu.push(price);
         self.live.push(id);
         self.tracer.emit(
             now,
@@ -221,11 +282,19 @@ impl CloudProvider {
             BillingMode::HiredTime => span,
             BillingMode::BusyTime => vm.busy_span(now),
         };
-        let cost = cores as f64 * t.cost_per_core_tu * billed.as_tu();
+        let cost = cores as f64 * self.price_per_core_tu[id.slot()] * billed.as_tu();
         self.settled_cost += cost;
         self.settled_cost_by_tier[tier.0] += cost;
         self.settled_core_tu_by_tier[tier.0] += cores as f64 * span.as_tu();
         self.cores_in_use[tier.0] -= cores;
+        if let Some((lease, tenant)) = &self.lease {
+            let mut pool = lease.borrow_mut();
+            if t.capacity_cores.is_some() {
+                pool.release_private(*tenant, cores);
+            } else {
+                pool.remove_public(cores);
+            }
+        }
         let pos = self.live.binary_search(&id).expect("released VM was live");
         self.live.remove(pos);
         self.tracer
@@ -248,6 +317,7 @@ impl CloudProvider {
         let old = vm.size.cores();
         let new = new_size.cores();
         let tier = vm.tier;
+        let bounded = self.catalog.get(tier).capacity_cores.is_some();
         if new > old {
             let extra = new - old;
             let free = match self.catalog.get(tier).capacity_cores {
@@ -256,6 +326,17 @@ impl CloudProvider {
             };
             if free < extra {
                 return Err(HireError::NoCapacity);
+            }
+            if let Some((lease, tenant)) = &self.lease {
+                if bounded && !lease.borrow_mut().try_reserve_private(*tenant, extra) {
+                    return Err(HireError::NoCapacity);
+                }
+            }
+        } else if new < old {
+            if let Some((lease, tenant)) = &self.lease {
+                if bounded {
+                    lease.borrow_mut().release_private(*tenant, old - new);
+                }
             }
         }
         let ready = vm.reshape(new_size, now);
@@ -312,7 +393,7 @@ impl CloudProvider {
                     BillingMode::HiredTime => vm.hired_span(now),
                     BillingMode::BusyTime => vm.busy_span(now),
                 };
-                vm.size.cores() as f64 * t.cost_per_core_tu * billed.as_tu()
+                vm.size.cores() as f64 * self.price_per_core_tu[vm.id.slot()] * billed.as_tu()
             })
             .sum();
         self.settled_cost + live
@@ -331,7 +412,7 @@ impl CloudProvider {
                     BillingMode::HiredTime => vm.hired_span(now),
                     BillingMode::BusyTime => vm.busy_span(now),
                 };
-                vm.size.cores() as f64 * t.cost_per_core_tu * billed.as_tu()
+                vm.size.cores() as f64 * self.price_per_core_tu[vm.id.slot()] * billed.as_tu()
             })
             .sum();
         self.settled_cost_by_tier[tier.0] + live
@@ -359,9 +440,20 @@ impl CloudProvider {
 
     /// Current cost per TU of keeping all live VMs running.
     pub fn burn_rate(&self) -> f64 {
-        self.vms()
-            .map(|vm| vm.size.cores() as f64 * self.catalog.get(vm.tier).cost_per_core_tu)
-            .sum()
+        self.vms().map(|vm| vm.size.cores() as f64 * self.price_per_core_tu[vm.id.slot()]).sum()
+    }
+
+    /// The price a core on `tier` would be billed at if hired *now*:
+    /// the catalogue rate, surge-adjusted for fleet contention when a
+    /// shared lease is attached. Scaling policies price Eq. 1 with this.
+    pub fn quoted_price(&self, tier: TierId) -> f64 {
+        let base = self.catalog.get(tier).cost_per_core_tu;
+        match &self.lease {
+            Some((lease, _)) if self.catalog.get(tier).capacity_cores.is_none() => {
+                base * lease.borrow().public_price_multiplier()
+            }
+            _ => base,
+        }
     }
 
     /// Idle live VMs whose idle span at `now` is at least `min_idle`,
@@ -531,6 +623,66 @@ mod tests {
         assert_eq!(c, vec![a]);
         let none = p.idle_candidates(t(3.0), SimDuration::new(3.0));
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn leased_providers_contend_for_the_shared_pool() {
+        use crate::shared::{SharedCapacity, SurgePricing};
+        use scan_sim::TenantId;
+        // 32 shared private cores across two tenants, each with a local
+        // catalogue that could take far more.
+        let lease = SharedCapacity::new(32, 2, SurgePricing::FLAT).into_lease();
+        let mut a = provider();
+        let mut b = provider();
+        a.attach_shared(lease.clone(), TenantId(0));
+        b.attach_shared(lease.clone(), TenantId(1));
+        let (id, _) = a.hire_on(TierId(0), sz(16), t(0.0)).unwrap();
+        b.hire_on(TierId(0), sz(16), t(0.0)).unwrap();
+        // The pool is exhausted even though each local catalogue has
+        // 624-core headroom.
+        assert_eq!(a.free_cores(TierId(0)), 0);
+        assert!(!b.has_capacity(TierId(0), sz(1)));
+        assert_eq!(b.hire_on(TierId(0), sz(1), t(0.0)), Err(HireError::NoCapacity));
+        assert_eq!(lease.borrow().peak_used(), 32);
+        // Releasing returns the cores to *both* tenants.
+        a.release(id, t(1.0));
+        assert!(b.has_capacity(TierId(0), sz(16)));
+        assert_eq!(lease.borrow().used_by(TenantId(0)), 0);
+    }
+
+    #[test]
+    fn surge_pricing_locks_the_launch_rate_per_vm() {
+        use crate::shared::{SharedCapacity, SurgePricing};
+        use scan_sim::TenantId;
+        // No shared private cores: every hire spills to the public tier,
+        // whose price doubles per 16 fleet-wide cores on hire.
+        let lease =
+            SharedCapacity::new(0, 1, SurgePricing { factor: 1.0, per_cores: 16.0 }).into_lease();
+        let mut p = provider();
+        p.attach_shared(lease.clone(), TenantId(0));
+        assert_eq!(p.quoted_price(TierId(1)), 50.0, "no contention yet");
+        let (first, _) = p.hire_on(TierId(1), sz(16), t(0.0)).unwrap();
+        // The second hire is quoted at 2× while the first keeps 1×.
+        assert!((p.quoted_price(TierId(1)) - 100.0).abs() < 1e-9);
+        let (_second, _) = p.hire_on(TierId(1), sz(16), t(0.0)).unwrap();
+        // Both billed HiredTime for 1 TU: 16·50·1 + 16·100·1.
+        let cost = p.total_cost(t(1.0));
+        assert!((cost - (800.0 + 1600.0)).abs() < 1e-6, "{cost}");
+        // Releasing the first VM drops contention; its settled cost used
+        // its launch price, not today's quote.
+        p.release(first, t(1.0));
+        assert!((p.quoted_price(TierId(1)) - 100.0).abs() < 1e-9);
+        // Private quotes never surge.
+        assert_eq!(p.quoted_price(TierId(0)), 5.0);
+    }
+
+    #[test]
+    fn unleased_provider_quotes_catalogue_prices() {
+        let p = provider();
+        assert_eq!(p.quoted_price(TierId(0)), 5.0);
+        assert_eq!(p.quoted_price(TierId(1)), 50.0);
+        assert_eq!(p.tenant(), scan_sim::TenantId::SOLO);
+        assert!(p.shared().is_none());
     }
 
     #[test]

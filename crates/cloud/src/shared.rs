@@ -1,0 +1,207 @@
+//! Shared provider capacity for multi-tenant fleets.
+//!
+//! A fleet run puts N tenant platforms on *one* provider: the private
+//! tier's cores are a single finite pool arbitrated across tenants, and
+//! the public tier's on-demand price surges with fleet-wide contention.
+//! [`SharedCapacity`] is that arbiter — a small ledger of who holds how
+//! many shared private cores and how many public cores the whole fleet
+//! has on hire. Each tenant's [`CloudProvider`] holds a
+//! [`SharedLease`] (an `Rc<RefCell<…>>` clone; sessions are
+//! single-threaded) and consults it on every hire, release and price
+//! quote.
+//!
+//! Single-tenant sessions never attach a lease, so their capacity checks
+//! and billing arithmetic are byte-for-byte the pre-fleet code paths.
+//!
+//! [`CloudProvider`]: crate::CloudProvider
+
+use scan_sim::TenantId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Contention-sensitive on-demand pricing for the shared public tier.
+///
+/// The quoted price is `base × (1 + factor × hired/per_cores)`: the more
+/// public cores the fleet holds, the more the next core costs — a linear
+/// stand-in for spot-market pressure. The multiplier is sampled at hire
+/// time and locked into the VM for its whole life (on-demand instances
+/// keep their launch price).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgePricing {
+    /// Price increase per `per_cores` public cores on hire fleet-wide.
+    pub factor: f64,
+    /// Core-count granularity of the surge.
+    pub per_cores: f64,
+}
+
+impl SurgePricing {
+    /// No surge: the public price is flat regardless of contention.
+    pub const FLAT: SurgePricing = SurgePricing { factor: 0.0, per_cores: 1.0 };
+}
+
+/// The fleet-wide capacity ledger one provider pool shares across
+/// tenants.
+#[derive(Debug, Clone)]
+pub struct SharedCapacity {
+    /// Total private cores in the shared pool.
+    private_cores: u32,
+    /// Private cores currently reserved, per tenant.
+    used_by_tenant: Vec<u32>,
+    /// Private cores currently reserved, fleet-wide.
+    used_total: u32,
+    /// High-water mark of `used_total`.
+    peak_used: u32,
+    /// Public cores currently on hire, fleet-wide (drives the surge).
+    public_cores: u32,
+    surge: SurgePricing,
+}
+
+impl SharedCapacity {
+    /// A shared pool of `private_cores` across `tenants` tenants.
+    ///
+    /// # Panics
+    /// Panics if `tenants` is zero.
+    pub fn new(private_cores: u32, tenants: usize, surge: SurgePricing) -> Self {
+        assert!(tenants > 0, "a shared pool needs at least one tenant");
+        SharedCapacity {
+            private_cores,
+            used_by_tenant: vec![0; tenants],
+            used_total: 0,
+            peak_used: 0,
+            public_cores: 0,
+            surge,
+        }
+    }
+
+    /// Wraps the pool in the handle tenants clone.
+    pub fn into_lease(self) -> SharedLease {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Total private cores in the pool.
+    pub fn private_cores(&self) -> u32 {
+        self.private_cores
+    }
+
+    /// Private cores not currently reserved by any tenant.
+    pub fn free_private(&self) -> u32 {
+        self.private_cores - self.used_total
+    }
+
+    /// Private cores `tenant` currently holds.
+    pub fn used_by(&self, tenant: TenantId) -> u32 {
+        self.used_by_tenant[tenant.index()]
+    }
+
+    /// Number of tenants sharing the pool.
+    pub fn tenants(&self) -> usize {
+        self.used_by_tenant.len()
+    }
+
+    /// Each tenant's fair share of the private pool (floor division; the
+    /// remainder is first-come-first-served headroom).
+    pub fn fair_share(&self) -> u32 {
+        self.private_cores / self.used_by_tenant.len() as u32
+    }
+
+    /// High-water mark of fleet-wide private reservation.
+    pub fn peak_used(&self) -> u32 {
+        self.peak_used
+    }
+
+    /// Public cores the fleet currently has on hire.
+    pub fn public_cores(&self) -> u32 {
+        self.public_cores
+    }
+
+    /// Attempts to reserve `cores` private cores for `tenant`; false if
+    /// the pool cannot cover them.
+    pub fn try_reserve_private(&mut self, tenant: TenantId, cores: u32) -> bool {
+        if self.free_private() < cores {
+            return false;
+        }
+        self.used_by_tenant[tenant.index()] += cores;
+        self.used_total += cores;
+        self.peak_used = self.peak_used.max(self.used_total);
+        true
+    }
+
+    /// Returns `cores` private cores from `tenant` to the pool.
+    ///
+    /// # Panics
+    /// Panics if `tenant` does not hold that many cores.
+    pub fn release_private(&mut self, tenant: TenantId, cores: u32) {
+        assert!(
+            self.used_by_tenant[tenant.index()] >= cores,
+            "tenant {tenant} releasing {cores} shared cores but holds {}",
+            self.used_by_tenant[tenant.index()]
+        );
+        self.used_by_tenant[tenant.index()] -= cores;
+        self.used_total -= cores;
+    }
+
+    /// Records `cores` public cores coming on hire fleet-wide.
+    pub fn add_public(&mut self, cores: u32) {
+        self.public_cores += cores;
+    }
+
+    /// Records `cores` public cores leaving hire fleet-wide.
+    pub fn remove_public(&mut self, cores: u32) {
+        debug_assert!(self.public_cores >= cores);
+        self.public_cores = self.public_cores.saturating_sub(cores);
+    }
+
+    /// The current on-demand price multiplier for the public tier, given
+    /// fleet-wide contention (≥ 1.0; exactly 1.0 under [`SurgePricing::FLAT`]).
+    pub fn public_price_multiplier(&self) -> f64 {
+        1.0 + self.surge.factor * (self.public_cores as f64 / self.surge.per_cores)
+    }
+}
+
+/// The handle each tenant's provider holds on the shared pool. Sessions
+/// are single-threaded (parallelism lives across fleet replications), so
+/// a plain `Rc<RefCell<…>>` suffices.
+pub type SharedLease = Rc<RefCell<SharedCapacity>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_is_arbitrated_across_tenants() {
+        let mut pool = SharedCapacity::new(10, 2, SurgePricing::FLAT);
+        assert!(pool.try_reserve_private(TenantId(0), 6));
+        assert!(!pool.try_reserve_private(TenantId(1), 6), "only 4 left");
+        assert!(pool.try_reserve_private(TenantId(1), 4));
+        assert_eq!(pool.free_private(), 0);
+        assert_eq!(pool.used_by(TenantId(0)), 6);
+        assert_eq!(pool.peak_used(), 10);
+        pool.release_private(TenantId(0), 6);
+        assert_eq!(pool.free_private(), 6);
+        assert_eq!(pool.peak_used(), 10, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn fair_share_is_floor_division() {
+        let pool = SharedCapacity::new(10, 3, SurgePricing::FLAT);
+        assert_eq!(pool.fair_share(), 3);
+        assert_eq!(pool.tenants(), 3);
+    }
+
+    #[test]
+    fn surge_multiplier_tracks_public_cores() {
+        let mut pool = SharedCapacity::new(0, 1, SurgePricing { factor: 0.5, per_cores: 100.0 });
+        assert_eq!(pool.public_price_multiplier(), 1.0);
+        pool.add_public(200);
+        assert!((pool.public_price_multiplier() - 2.0).abs() < 1e-12);
+        pool.remove_public(100);
+        assert!((pool.public_price_multiplier() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut pool = SharedCapacity::new(10, 1, SurgePricing::FLAT);
+        pool.release_private(TenantId(0), 1);
+    }
+}

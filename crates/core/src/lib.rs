@@ -20,6 +20,11 @@
 //! * [`session`] — one seeded simulation run; [`sweep`] — rayon-parallel
 //!   replication and parameter grids, with per-session observers built
 //!   through the `Send`-capable factory bridge.
+//! * [`fleet`] — multi-tenant fleets: M platforms on one shared provider
+//!   pool (finite private capacity, contention-surged public pricing,
+//!   fair-share admission), multiplexed deterministically over a single
+//!   tenant-tagged calendar, with whole-fleet replications sharded
+//!   across cores.
 //! * [`instrument`] — sessions with a [`scan_metrics`] registry attached
 //!   (histograms, counters, windowed series across every subsystem) and
 //!   an optional wall-clock self-profile, merged deterministically across
@@ -30,6 +35,7 @@
 
 pub mod broker;
 pub mod config;
+pub mod fleet;
 pub mod instrument;
 pub mod metrics;
 pub mod observers;
@@ -39,6 +45,10 @@ pub mod sweep;
 
 pub use broker::DataBroker;
 pub use config::{FixedParams, ParameterGrid, ScanConfig, VariableParams};
+pub use fleet::{
+    run_fleet, run_fleet_replicated, run_fleet_replicated_with, run_fleet_with, FleetConfig,
+    FleetMetrics,
+};
 pub use metrics::{ReplicatedMetrics, SessionMetrics};
 pub use observers::{DecisionStats, DecisionStatsFactory};
 pub use platform::Platform;

@@ -8,6 +8,10 @@ use serde::{Deserialize, Serialize};
 pub struct SessionMetrics {
     /// Jobs submitted during the run.
     pub jobs_submitted: u64,
+    /// Jobs the fair-share admission gate deferred at least once (fleet
+    /// tenants under contention; always zero for solo sessions).
+    #[serde(default)]
+    pub jobs_deferred: u64,
     /// Pipeline runs completed before the horizon.
     pub jobs_completed: u64,
     /// Total reward earned, CU.
@@ -114,6 +118,7 @@ mod tests {
     fn metrics(profit_per_run: f64) -> SessionMetrics {
         SessionMetrics {
             jobs_submitted: 100,
+            jobs_deferred: 0,
             jobs_completed: 90,
             total_reward: 10_000.0,
             total_cost: 4_000.0,

@@ -27,7 +27,7 @@ impl Platform {
 
     /// Settles billing, closes the trace stream, and reads the session's
     /// metrics out of the aggregator.
-    pub(super) fn finish(self, ended_at: SimTime, events: u64) -> SessionMetrics {
+    pub(crate) fn finish(self, ended_at: SimTime, events: u64) -> SessionMetrics {
         for tier in [self.private_tier, self.public_tier] {
             self.tracer.emit(
                 ended_at,
@@ -54,6 +54,7 @@ impl Platform {
 #[derive(Debug)]
 pub struct MetricsAggregator {
     submitted: u64,
+    deferred: u64,
     completed: u64,
     total_reward: f64,
     latency_stats: OnlineStats,
@@ -81,6 +82,7 @@ impl MetricsAggregator {
     pub fn new() -> Self {
         MetricsAggregator {
             submitted: 0,
+            deferred: 0,
             completed: 0,
             total_reward: 0.0,
             latency_stats: OnlineStats::new(),
@@ -108,6 +110,7 @@ impl MetricsAggregator {
         };
         SessionMetrics {
             jobs_submitted: self.submitted,
+            jobs_deferred: self.deferred,
             jobs_completed: self.completed,
             total_reward: self.total_reward,
             total_cost: self.total_cost,
@@ -143,6 +146,7 @@ impl Observer for MetricsAggregator {
     fn on_event(&mut self, at: SimTime, event: &TraceEvent) {
         match *event {
             TraceEvent::JobArrived { .. } => self.submitted += 1,
+            TraceEvent::AdmissionDeferred { jobs, .. } => self.deferred += jobs as u64,
             TraceEvent::JobCompleted { latency_tu, reward, core_stages, .. } => {
                 self.completed += 1;
                 self.total_reward += reward;

@@ -2,17 +2,17 @@
 //! enqueueing, and the periodic replan tick that refreshes models and
 //! closes learned-policy epochs.
 
-use super::events::{Event, JobRun, SubtaskRef};
+use super::events::{Event, EventSink, JobRun, SubtaskRef};
 use super::Platform;
 use scan_sched::alloc::{AllocationContext, AllocationPolicy};
 use scan_sched::plan::ExecutionPlan;
 use scan_sched::queue::TaskClass;
-use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
+use scan_sim::{SimDuration, SimTime, TraceEvent};
 use scan_workload::gatk::PipelineModel;
 use scan_workload::job::{Job, JobId};
 
 impl Platform {
-    pub(super) fn on_arrival(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    pub(super) fn on_arrival(&mut self, now: SimTime, sink: &mut impl EventSink) {
         let batch = self.arrivals.next_batch();
         debug_assert_eq!(batch.at, now);
 
@@ -22,12 +22,79 @@ impl Platform {
         self.observed_rate = 0.05 * inst_rate + 0.95 * self.observed_rate;
         self.last_arrival_at = now;
 
+        let mut deferred = 0u32;
         for job in batch.jobs {
+            if self.arrivals_exhausted() {
+                // Capped tenant: the batch tail past the cap never enters
+                // the system.
+                break;
+            }
+            self.taken_jobs += 1;
             self.observed_size = 0.05 * job.size_units + 0.95 * self.observed_size;
-            self.admit(job, now);
+            if self.should_defer() {
+                self.backlog.push(job);
+                deferred += 1;
+            } else {
+                self.admit(job, now);
+            }
         }
-        cal.schedule(self.arrivals.next_arrival_at(), Event::Arrival);
-        self.dispatch(now, cal);
+        if deferred > 0 {
+            self.tracer.emit(
+                now,
+                TraceEvent::AdmissionDeferred {
+                    tenant: self.tenant.0 as u32,
+                    jobs: deferred,
+                    backlog: self.backlog.len() as u32,
+                },
+            );
+        }
+        if !self.arrivals_exhausted() {
+            sink.schedule(self.arrivals.next_arrival_at(), Event::Arrival);
+        }
+        self.dispatch(now, sink);
+    }
+
+    /// The fair-share admission gate (fleet tenants only): defer new
+    /// jobs while the shared private pool is exhausted and this tenant
+    /// already holds at least its fair share of it. The gate never
+    /// closes on a tenant with nothing in flight — an idle tenant always
+    /// makes progress (its jobs can still buy public cores), which is
+    /// what keeps every deferred job's eventual admission live.
+    fn should_defer(&self) -> bool {
+        if !self.fair_share || self.live_jobs == 0 {
+            return false;
+        }
+        let Some(lease) = self.provider.shared() else {
+            return false;
+        };
+        let pool = lease.borrow();
+        pool.free_private() == 0 && pool.used_by(self.tenant) >= pool.fair_share()
+    }
+
+    /// Re-admits deferred jobs once the fair-share gate has cleared
+    /// (called from the idle sweep, right after worker releases have
+    /// returned cores to the shared pool).
+    pub(super) fn drain_backlog(&mut self, now: SimTime, sink: &mut impl EventSink) {
+        if self.backlog.is_empty() {
+            return;
+        }
+        let mut resumed = 0u32;
+        while !self.backlog.is_empty() && !self.should_defer() {
+            let job = self.backlog.pop().expect("backlog checked non-empty");
+            self.admit(job, now);
+            resumed += 1;
+        }
+        if resumed > 0 {
+            self.tracer.emit(
+                now,
+                TraceEvent::AdmissionResumed {
+                    tenant: self.tenant.0 as u32,
+                    jobs: resumed,
+                    backlog: self.backlog.len() as u32,
+                },
+            );
+            self.dispatch(now, sink);
+        }
     }
 
     fn admit(&mut self, job: Job, now: SimTime) {
@@ -65,6 +132,7 @@ impl Platform {
         let run = JobRun { job, plan, stage: 0, outstanding: 0 };
         let id = run.job.id;
         self.jobs.insert(id.slot(), run);
+        self.live_jobs += 1;
         self.enqueue_stage(id, now);
     }
 
@@ -116,7 +184,7 @@ impl Platform {
         });
     }
 
-    pub(super) fn on_replan(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    pub(super) fn on_replan(&mut self, now: SimTime, sink: &mut impl EventSink) {
         if self.cfg.variable.allocation == AllocationPolicy::LongTermAdaptive {
             self.broker.refresh_model();
             self.estimator.set_model(self.broker.learned_model().clone());
@@ -138,7 +206,12 @@ impl Platform {
             let (idx, _) = planner.select(&mut self.learned_rng);
             self.learned_arm = Some(idx);
         }
-        self.resize_standing_pools(now, cal);
-        cal.schedule(now + SimDuration::new(self.cfg.fixed.replan_period_tu), Event::Replan);
+        if self.finished() {
+            // A drained fleet tenant stops ticking: no pools to resize,
+            // and rescheduling would keep the shared calendar alive.
+            return;
+        }
+        self.resize_standing_pools(now, sink);
+        sink.schedule(now + SimDuration::new(self.cfg.fixed.replan_period_tu), Event::Replan);
     }
 }

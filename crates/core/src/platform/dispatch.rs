@@ -1,13 +1,13 @@
 //! Dispatch: matching queued shard subtasks to idle same-shape workers
 //! and advancing jobs as their subtasks finish.
 
-use super::events::Event;
+use super::events::{Event, EventSink};
 use super::Platform;
 use scan_cloud::vm::VmId;
 use scan_kb::ProfileRecord;
 use scan_sched::alloc::AllocationPolicy;
 use scan_sched::queue::{TaskClass, SHAPE_CORES};
-use scan_sim::{prof, Calendar, SimDuration, SimTime, TraceEvent};
+use scan_sim::{prof, SimDuration, SimTime, TraceEvent};
 use scan_workload::job::JobId;
 use std::borrow::Cow;
 
@@ -24,7 +24,7 @@ impl Platform {
     /// without materialising a class list per pass. Nothing inside the
     /// loop enqueues new subtasks, so reading lengths live is equivalent
     /// to snapshotting them up front.
-    pub(super) fn dispatch(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    pub(super) fn dispatch(&mut self, now: SimTime, sink: &mut impl EventSink) {
         prof::scope!("dispatch");
         for stage in 0..self.queues.n_stages() {
             for (slot, &cores) in SHAPE_CORES.iter().enumerate() {
@@ -37,7 +37,7 @@ impl Platform {
                     let Some(vm_id) = self.take_idle(class.cores) else {
                         break;
                     };
-                    self.assign(class, vm_id, now, cal);
+                    self.assign(class, vm_id, now, sink);
                 }
                 // Stalled: decide whether to grow.
                 let queued = self.queues.get(class).map(|q| q.len()).unwrap_or(0);
@@ -47,7 +47,7 @@ impl Platform {
                 let pending = self.pending.get(class.stage, class.cores);
                 let mut deficit = (queued as u32).saturating_sub(pending);
                 while deficit > 0 {
-                    if !self.try_grow(class, now, cal) {
+                    if !self.try_grow(class, now, sink) {
                         break;
                     }
                     deficit -= 1;
@@ -65,7 +65,7 @@ impl Platform {
         job: JobId,
         stage: usize,
         vm_id: VmId,
-        cal: &mut Calendar<Event>,
+        sink: &mut impl EventSink,
     ) {
         self.tracer.emit(
             now,
@@ -91,12 +91,13 @@ impl Platform {
             run.stage += 1;
             if run.stage == run.plan.n_stages() {
                 let run = self.jobs.remove(job.slot()).expect("just present");
+                self.live_jobs -= 1;
                 self.complete(run, now);
             } else {
                 self.enqueue_stage(job, now);
             }
         }
-        self.dispatch(now, cal);
+        self.dispatch(now, sink);
     }
 
     pub(super) fn assign(
@@ -104,7 +105,7 @@ impl Platform {
         class: TaskClass,
         vm_id: VmId,
         now: SimTime,
-        cal: &mut Calendar<Event>,
+        sink: &mut impl EventSink,
     ) {
         prof::scope!("assign");
         let (subtask, wait) =
@@ -161,7 +162,7 @@ impl Platform {
                 busy_tu: duration.as_tu(),
             },
         );
-        cal.schedule(
+        sink.schedule(
             done_at,
             Event::SubtaskDone { job: subtask.job, stage: stage as u32, vm: vm_id },
         );

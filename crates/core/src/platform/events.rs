@@ -2,7 +2,28 @@
 
 use scan_cloud::vm::VmId;
 use scan_sched::plan::ExecutionPlan;
+use scan_sim::{Calendar, SimTime};
 use scan_workload::job::{Job, JobId};
+
+/// Where the platform's subsystems schedule follow-up events.
+///
+/// A solo session passes the engine's own [`Calendar<Event>`] straight
+/// through; a fleet run passes an adapter that tags each event with its
+/// tenant and multiplexes many platforms onto one shared calendar. The
+/// subsystems are generic over this trait and cannot tell the
+/// difference, which is what keeps single-tenant event ordering (and the
+/// golden traces) bit-identical to the pre-fleet code.
+pub(crate) trait EventSink {
+    /// Schedules `event` at `at`.
+    fn schedule(&mut self, at: SimTime, event: Event);
+}
+
+impl EventSink for Calendar<Event> {
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        // The inherent method, which tags `TenantId::SOLO`.
+        Calendar::schedule(self, at, event);
+    }
+}
 
 /// Simulation events.
 ///

@@ -2,7 +2,7 @@
 //! (Table I) with its Eq. 1 queue view, the private-hire throttle, and
 //! reshape-instead-of-hire for heterogeneous configurations.
 
-use super::events::Event;
+use super::events::{Event, EventSink};
 use super::meters::ChoiceMeter;
 use super::Platform;
 use scan_cloud::instance::InstanceSize;
@@ -10,7 +10,7 @@ use scan_cloud::vm::{boot_penalty, VmId};
 use scan_sched::delay_cost::{delay_cost, QueuedJobView};
 use scan_sched::queue::{TaskClass, SHAPE_CORES};
 use scan_sched::scaling::{ScalingContext, ScalingDecision};
-use scan_sim::{prof, Calendar, ScalingChoice, SimTime, TraceEvent};
+use scan_sim::{prof, ScalingChoice, SimTime, TraceEvent};
 
 /// The scalar inputs of one scaling decision (everything except the
 /// queue view, which lives in the platform's scratch buffer).
@@ -34,7 +34,7 @@ impl Platform {
         &mut self,
         class: TaskClass,
         now: SimTime,
-        cal: &mut Calendar<Event>,
+        sink: &mut impl EventSink,
     ) -> bool {
         prof::scope!("try_grow");
         let size = InstanceSize::new(class.cores).expect("class cores are instance sizes");
@@ -73,7 +73,7 @@ impl Platform {
                         if let Some(mm) = &self.meters {
                             mm.metrics.counter_add(mm.choice[ChoiceMeter::Reshape as usize], 1);
                         }
-                        cal.schedule(ready_at, Event::VmReady(vm_id));
+                        sink.schedule(ready_at, Event::VmReady(vm_id));
                         return true;
                     }
                     Err(_) => { /* fall through to hire */ }
@@ -90,7 +90,10 @@ impl Platform {
             private_has_capacity: inputs.private_has_capacity,
             queued: &self.scaling_scratch,
             expected_wait_tu: inputs.expected_wait_tu,
-            public_price_per_core_tu: self.cfg.variable.public_core_cost,
+            // The provider's live quote: the catalogue price solo, the
+            // contention-surged on-demand price under a fleet lease — so
+            // Eq. 1 prices public hires at what they would actually cost.
+            public_price_per_core_tu: self.provider.quoted_price(self.public_tier),
             stage: class.stage as u32,
             cores_needed: class.cores,
             boot_penalty_tu: boot_penalty().as_tu(),
@@ -168,7 +171,7 @@ impl Platform {
             Ok((vm_id, ready_at)) => {
                 self.pending.increment(class.stage, class.cores);
                 self.vm_reserved_for.insert(vm_id.slot(), class);
-                cal.schedule(ready_at, Event::VmReady(vm_id));
+                sink.schedule(ready_at, Event::VmReady(vm_id));
                 true
             }
             Err(_) => false,

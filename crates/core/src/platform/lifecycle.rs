@@ -1,17 +1,17 @@
 //! Worker lifecycle: boot completion, the idle-release sweep, and the
 //! standing per-shape worker pools topped up from the private tier.
 
-use super::events::Event;
+use super::events::{Event, EventSink};
 use super::Platform;
 use scan_cloud::instance::InstanceSize;
 use scan_cloud::vm::VmId;
 use scan_sched::alloc::AllocationPolicy;
 use scan_sched::plan::ExecutionPlan;
 use scan_sched::queue::{shape_slot, N_SHAPES};
-use scan_sim::{Calendar, SimDuration, SimTime, TraceEvent};
+use scan_sim::{SimDuration, SimTime, TraceEvent};
 
 impl Platform {
-    pub(super) fn on_vm_ready(&mut self, now: SimTime, vm_id: VmId, cal: &mut Calendar<Event>) {
+    pub(super) fn on_vm_ready(&mut self, now: SimTime, vm_id: VmId, sink: &mut impl EventSink) {
         if let Some(class) = self.vm_reserved_for.remove(vm_id.slot()) {
             self.pending.decrement_saturating(class.stage, class.cores);
         }
@@ -19,11 +19,17 @@ impl Platform {
         vm.finish_boot(now);
         let cores = vm.size.cores();
         self.tracer.emit(now, TraceEvent::VmBooted { vm: vm_id.0 as u64, cores });
+        if self.finished() {
+            // The tenant drained while this worker was booting: return it
+            // (and its shared cores) straight to the provider.
+            self.provider.release(vm_id, now);
+            return;
+        }
         self.idle.insert(cores, vm_id);
-        self.dispatch(now, cal);
+        self.dispatch(now, sink);
     }
 
-    pub(super) fn on_idle_sweep(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    pub(super) fn on_idle_sweep(&mut self, now: SimTime, sink: &mut impl EventSink) {
         self.sample_series(now);
         let public_timeout = SimDuration::new(self.cfg.fixed.public_idle_timeout_tu);
         let private_timeout = SimDuration::new(self.cfg.fixed.idle_timeout_tu);
@@ -52,7 +58,38 @@ impl Platform {
             self.idle.remove(cores, vm_id);
             self.provider.release(vm_id, now);
         }
-        cal.schedule(now + SimDuration::new(0.5), Event::IdleSweep);
+        // Fleet tenants: releases above may have freed shared cores, so
+        // the fair-share gate gets a chance to re-admit deferred jobs.
+        self.drain_backlog(now, sink);
+        if self.arrivals_exhausted() && !self.finished() {
+            // Past the arrival cap there is no next arrival to re-trigger
+            // dispatch, so a queue whose last scaling decision was "wait"
+            // (e.g. while the surged public price was prohibitive) would
+            // starve. Re-evaluate on the sweep cadence instead: as other
+            // tenants drain and contention falls, waiting queues get
+            // their hire.
+            self.dispatch(now, sink);
+        }
+        if self.finished() {
+            // Run-to-completion teardown: release every idle worker
+            // (floors included) so billing stops and the shared pool gets
+            // its cores back, and stop the periodic tick — a drained
+            // tenant schedules nothing further.
+            self.teardown(now);
+        } else {
+            sink.schedule(now + SimDuration::new(0.5), Event::IdleSweep);
+        }
+    }
+
+    /// Releases every idle worker of a drained fleet tenant. Workers
+    /// still booting release from `on_vm_ready`; nothing can be busy
+    /// (`finished()` implies no live jobs).
+    fn teardown(&mut self, now: SimTime) {
+        for vm_id in self.provider.idle_candidates(now, SimDuration::new(0.0)) {
+            let cores = self.provider.vm(vm_id).expect("candidate exists").size.cores();
+            self.idle.remove(cores, vm_id);
+            self.provider.release(vm_id, now);
+        }
     }
 
     /// Sizes the per-shape standing pools from the representative plan and
@@ -61,7 +98,14 @@ impl Platform {
     /// boot waits and idle churn. Tops pools up from the private tier
     /// (standing capacity is the owned cluster; the public tier stays
     /// reactive).
-    pub(super) fn resize_standing_pools(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    pub(super) fn resize_standing_pools(&mut self, now: SimTime, sink: &mut impl EventSink) {
+        if self.arrivals_exhausted() {
+            // Capped fleet tenant past its last arrival: stop forecasting
+            // standing demand so the floors drop and the idle sweep can
+            // wind the pools down as the tail of jobs drains.
+            self.standing_target.clear();
+            return;
+        }
         let plan = match (&self.cfg.forced_plan, &self.learned) {
             (Some(stages), _) => ExecutionPlan::new(stages.clone()),
             (None, Some(planner)) => planner.best_plan().clone(),
@@ -105,7 +149,7 @@ impl Platform {
             let size = InstanceSize::new(cores).expect("plan shapes are instance sizes");
             for _ in live..(want as usize) {
                 match self.provider.hire_on(self.private_tier, size, now) {
-                    Ok((vm_id, ready_at)) => cal.schedule(ready_at, Event::VmReady(vm_id)),
+                    Ok((vm_id, ready_at)) => sink.schedule(ready_at, Event::VmReady(vm_id)),
                     Err(_) => break, // private tier full: pools stay short
                 }
             }

@@ -44,6 +44,7 @@ mod tests;
 
 pub use accounting::MetricsAggregator;
 pub use events::Event;
+pub(crate) use events::EventSink;
 
 use crate::broker::DataBroker;
 use crate::config::ScanConfig;
@@ -51,6 +52,7 @@ use crate::metrics::SessionMetrics;
 use events::JobRun;
 use meters::PlatformMeters;
 use scan_cloud::provider::CloudProvider;
+use scan_cloud::shared::SharedLease;
 use scan_cloud::tier::{BillingMode, Tier, TierCatalog, TierId};
 use scan_metrics::Metrics;
 use scan_sched::alloc::{AllocationPolicy, Allocator};
@@ -61,20 +63,38 @@ use scan_sched::plan::candidate_plans;
 use scan_sched::queue::{QueueSet, TaskClass};
 use scan_sim::{
     prof, Calendar, Engine, EventHandler, ObserverHandle, RngHub, SimRng, SimTime, StepOutcome,
-    Tracer,
+    TenantId, Tracer,
 };
 use scan_workload::arrivals::ArrivalProcess;
 use scan_workload::gatk::PipelineModel;
 use scan_workload::reward::RewardFn;
-use state::{BusyTable, ClassCounts, IdlePools, SlotArena, StandingTargets};
+use state::{AdmissionBacklog, BusyTable, ClassCounts, IdlePools, SlotArena, StandingTargets};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// How a platform participates in a multi-tenant fleet: its identity,
+/// its lease on the shared provider pool, and the fleet's run-to-
+/// completion and fairness knobs. Solo sessions have none of this.
+pub(crate) struct TenantSetup {
+    /// This platform's tenant id within the fleet.
+    pub(crate) tenant: TenantId,
+    /// Handle on the fleet-wide shared capacity ledger.
+    pub(crate) lease: SharedLease,
+    /// Stop drawing from the arrival process after this many jobs, then
+    /// tear the tenant down once they all complete (`None` = run to the
+    /// horizon like a solo session).
+    pub(crate) max_jobs: Option<u64>,
+    /// Defer new admissions while the shared pool is exhausted and this
+    /// tenant sits at or above its fair share.
+    pub(crate) fair_share: bool,
+}
 
 /// The assembled platform; drives itself through [`Engine`]. A thin
 /// coordinator: the subsystem logic lives in this module's submodules,
 /// each an `impl Platform` block over one concern.
 pub struct Platform {
-    cfg: ScanConfig,
+    cfg: Arc<ScanConfig>,
     reward: RewardFn,
     true_model: PipelineModel,
     arrivals: ArrivalProcess,
@@ -111,6 +131,19 @@ pub struct Platform {
     learned_rng: SimRng,
     learned_arm: Option<usize>,
     epoch_start: (f64, f64, u64), // (reward, cost, completed) at epoch start
+    // --- fleet tenancy (inert in solo sessions) ---
+    /// Who this platform is within a fleet; `TenantId::SOLO` otherwise.
+    tenant: TenantId,
+    /// Arrival-stream cap for run-to-completion fleets; `None` = horizon.
+    max_jobs: Option<u64>,
+    /// Whether the fair-share admission gate is armed.
+    fair_share: bool,
+    /// Jobs drawn from the arrival stream so far (admitted or deferred).
+    taken_jobs: u64,
+    /// Jobs deferred by the fair-share gate, awaiting re-admission.
+    backlog: AdmissionBacklog,
+    /// Live entries in the `jobs` arena (admitted, not yet completed).
+    live_jobs: u64,
     // --- adaptive-policy state ---
     observed_rate: f64,
     observed_size: f64,
@@ -142,7 +175,23 @@ pub struct Platform {
 
 impl Platform {
     /// Builds the platform for one `(config, repetition)` pair.
-    pub fn new(cfg: ScanConfig, repetition: u64) -> Self {
+    ///
+    /// Takes the config as `impl Into<Arc<ScanConfig>>`: solo callers
+    /// keep passing an owned `ScanConfig`, while fleet construction
+    /// shares one `Arc` across all tenants instead of deep-cloning the
+    /// config per platform.
+    pub fn new(cfg: impl Into<Arc<ScanConfig>>, repetition: u64) -> Self {
+        Self::build(cfg.into(), repetition, None)
+    }
+
+    /// Builds one fleet tenant's platform: a normal `(config,
+    /// repetition)` build whose provider additionally holds a lease on
+    /// the fleet's shared capacity pool.
+    pub(crate) fn new_tenant(cfg: Arc<ScanConfig>, repetition: u64, setup: TenantSetup) -> Self {
+        Self::build(cfg, repetition, Some(setup))
+    }
+
+    fn build(cfg: Arc<ScanConfig>, repetition: u64, tenancy: Option<TenantSetup>) -> Self {
         let hub = RngHub::new(cfg.seed, repetition);
         let true_model = cfg.true_model();
         let mut kb_rng = hub.stream("kb-bootstrap");
@@ -162,7 +211,14 @@ impl Platform {
                 billing: BillingMode::HiredTime,
             },
         ]);
-        let provider = CloudProvider::new(catalog);
+        let mut provider = CloudProvider::new(catalog);
+        let (tenant, max_jobs, fair_share) = match tenancy {
+            Some(setup) => {
+                provider.attach_shared(setup.lease, setup.tenant);
+                (setup.tenant, setup.max_jobs, setup.fair_share)
+            }
+            None => (TenantId::SOLO, None, false),
+        };
 
         let arrivals = ArrivalProcess::new(
             cfg.arrival_config(),
@@ -228,6 +284,12 @@ impl Platform {
             learned_rng: hub.stream("learned-policy"),
             learned_arm: None,
             epoch_start: (0.0, 0.0, 0),
+            tenant,
+            max_jobs,
+            fair_share,
+            taken_jobs: 0,
+            backlog: AdmissionBacklog::default(),
+            live_jobs: 0,
             observed_rate,
             observed_size,
             last_arrival_at: SimTime::ZERO,
@@ -255,9 +317,6 @@ impl Platform {
 
     /// Runs the full session and returns its metrics.
     pub fn run(mut self) -> SessionMetrics {
-        // Hand the provider the sink list before the first hire so the
-        // initial standing-pool hires are narrated too.
-        self.provider.set_tracer(self.tracer.clone());
         let horizon = SimTime::new(self.cfg.fixed.sim_time_tu);
         let mut engine: Engine<Event> = Engine::with_horizon(horizon);
         engine.set_metrics(&self.metrics);
@@ -266,12 +325,64 @@ impl Platform {
         // per in-flight subtask plus the periodic ticks) so it never
         // re-heapifies mid-run.
         cal.reserve(1024);
-        self.resize_standing_pools(SimTime::ZERO, cal);
-        cal.schedule(self.arrivals.next_arrival_at().min(horizon), Event::Arrival);
-        cal.schedule(SimTime::new(1.0), Event::IdleSweep);
-        cal.schedule(SimTime::new(self.cfg.fixed.replan_period_tu), Event::Replan);
+        self.start(horizon, cal);
         let report = engine.run(&mut self);
         self.finish(report.ended_at, report.events_dispatched)
+    }
+
+    /// Boots the session: hands the provider the (now final) sink list,
+    /// hires the initial standing pools, and schedules the first arrival
+    /// and periodic ticks into `sink`. A solo [`Platform::run`] does this
+    /// against the engine's calendar; a fleet does it per tenant against
+    /// the shared, tenant-tagging calendar.
+    pub(crate) fn start(&mut self, horizon: SimTime, sink: &mut impl EventSink) {
+        // Hand the provider the sink list before the first hire so the
+        // initial standing-pool hires are narrated too.
+        self.provider.set_tracer(self.tracer.clone());
+        self.resize_standing_pools(SimTime::ZERO, sink);
+        sink.schedule(self.arrivals.next_arrival_at().min(horizon), Event::Arrival);
+        sink.schedule(SimTime::new(1.0), Event::IdleSweep);
+        sink.schedule(SimTime::new(self.cfg.fixed.replan_period_tu), Event::Replan);
+    }
+
+    /// Dispatches one event to its subsystem. The solo [`EventHandler`]
+    /// impl and the fleet multiplexer both route through here.
+    pub(crate) fn handle_event(&mut self, now: SimTime, event: Event, sink: &mut impl EventSink) {
+        match event {
+            Event::Arrival => {
+                prof::scope!("arrival");
+                self.on_arrival(now, sink)
+            }
+            Event::VmReady(vm) => {
+                prof::scope!("vm_ready");
+                self.on_vm_ready(now, vm, sink)
+            }
+            Event::SubtaskDone { job, stage, vm } => {
+                prof::scope!("subtask_done");
+                self.on_subtask_done(now, job, stage as usize, vm, sink)
+            }
+            Event::IdleSweep => {
+                prof::scope!("idle_sweep");
+                self.on_idle_sweep(now, sink)
+            }
+            Event::Replan => {
+                prof::scope!("replan");
+                self.on_replan(now, sink)
+            }
+        }
+    }
+
+    /// Whether a capped (fleet) tenant has fully drained: every job it
+    /// will ever take has been taken, admitted, and completed. Always
+    /// false for solo sessions (`max_jobs` unset), so their lifecycle is
+    /// exactly the pre-fleet run-to-horizon.
+    pub(crate) fn finished(&self) -> bool {
+        self.arrivals_exhausted() && self.backlog.is_empty() && self.live_jobs == 0
+    }
+
+    /// Whether the arrival stream has been capped off.
+    pub(super) fn arrivals_exhausted(&self) -> bool {
+        self.max_jobs.is_some_and(|cap| self.taken_jobs >= cap)
     }
 }
 
@@ -279,28 +390,7 @@ impl EventHandler for Platform {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, cal: &mut Calendar<Event>) -> StepOutcome {
-        match event {
-            Event::Arrival => {
-                prof::scope!("arrival");
-                self.on_arrival(now, cal)
-            }
-            Event::VmReady(vm) => {
-                prof::scope!("vm_ready");
-                self.on_vm_ready(now, vm, cal)
-            }
-            Event::SubtaskDone { job, stage, vm } => {
-                prof::scope!("subtask_done");
-                self.on_subtask_done(now, job, stage as usize, vm, cal)
-            }
-            Event::IdleSweep => {
-                prof::scope!("idle_sweep");
-                self.on_idle_sweep(now, cal)
-            }
-            Event::Replan => {
-                prof::scope!("replan");
-                self.on_replan(now, cal)
-            }
-        }
+        self.handle_event(now, event, cal);
         StepOutcome::Continue
     }
 }

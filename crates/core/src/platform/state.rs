@@ -20,6 +20,8 @@
 use scan_cloud::vm::VmId;
 use scan_sched::queue::{shape_slot, N_SHAPES, SHAPE_CORES};
 use scan_sim::SimTime;
+use scan_workload::job::Job;
+use std::collections::VecDeque;
 
 /// Per-shape pools of idle workers with O(1) deterministic min-id pop.
 ///
@@ -222,6 +224,37 @@ impl<T> SlotArena<T> {
     }
 }
 
+/// FIFO backlog of jobs the fair-share admission gate has deferred.
+///
+/// Only fleet tenants ever fill this: a solo session's gate is always
+/// open, so the deque stays empty and costs one `is_empty` branch per
+/// arrival. Deferred jobs keep their original submission timestamps, so
+/// a long deferral shows up as latency (and lost reward), not as a
+/// silently re-dated job.
+#[derive(Debug, Default)]
+pub(super) struct AdmissionBacklog {
+    jobs: VecDeque<Job>,
+}
+
+impl AdmissionBacklog {
+    pub(super) fn push(&mut self, job: Job) {
+        self.jobs.push_back(job);
+    }
+
+    /// Pops the oldest deferred job.
+    pub(super) fn pop(&mut self) -> Option<Job> {
+        self.jobs.pop_front()
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub(super) fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
 /// Standing worker-pool targets per shape (VM counts), dense by slot.
 #[derive(Debug, Default, Clone, Copy)]
 pub(super) struct StandingTargets {
@@ -340,6 +373,19 @@ mod tests {
         assert_eq!(arena.remove(3), None);
         assert_eq!(arena.get(3), None);
         assert_eq!(arena.get(0), Some(&"a"));
+    }
+
+    #[test]
+    fn admission_backlog_is_fifo() {
+        use scan_workload::job::JobId;
+        let mut b = AdmissionBacklog::default();
+        assert!(b.is_empty());
+        b.push(Job::new(JobId(0), 1.0, SimTime::ZERO));
+        b.push(Job::new(JobId(1), 2.0, SimTime::ZERO));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop().expect("two queued").id, JobId(0));
+        assert_eq!(b.pop().expect("one queued").id, JobId(1));
+        assert!(b.pop().is_none());
     }
 
     #[test]

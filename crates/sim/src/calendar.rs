@@ -6,9 +6,17 @@
 //! paper's "repeat 10 times, report mean ± σ" methodology, where each
 //! repetition must be a pure function of its seed.
 
+use crate::tenant::TenantId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Sequence numbers occupy the low 48 bits of the heap key; the 16 bits
+/// above them hold the scheduling tenant. 2⁴⁸ events per run is far
+/// beyond any realistic simulation, and the split keeps the whole key a
+/// single `u128` compare.
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
 
 /// An event with the instant at which it fires.
 #[derive(Debug, Clone)]
@@ -16,22 +24,33 @@ pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub at: SimTime,
     /// Scheduling sequence number; earlier-scheduled events fire first
-    /// among simultaneous ones.
+    /// among simultaneous same-tenant ones.
     pub seq: u64,
+    /// The tenant that scheduled the event ([`TenantId::SOLO`] for
+    /// single-tenant simulations).
+    pub tenant: TenantId,
     /// The event payload.
     pub event: E,
 }
 
 impl<E> ScheduledEvent<E> {
     /// The heap ordering key, packed into one integer compare: fire-time
-    /// bits in the high half, sequence number in the low half. `SimTime`
-    /// is always finite and non-negative, so the IEEE-754 bit pattern of
-    /// `at` orders exactly like the float itself — one branch-free `u128`
-    /// comparison replaces a float compare plus a tie-break (the heap's
-    /// sift loop is the simulator's single hottest comparison site).
+    /// bits in the high half, tenant then sequence number in the low
+    /// half. `SimTime` is always finite and non-negative, so the
+    /// IEEE-754 bit pattern of `at` orders exactly like the float itself
+    /// — one branch-free `u128` comparison replaces a float compare plus
+    /// a tie-break (the heap's sift loop is the simulator's single
+    /// hottest comparison site). Among simultaneous events, lower
+    /// tenants fire first and, within one tenant, scheduling order wins;
+    /// for single-tenant runs (tenant always [`TenantId::SOLO`]) the key
+    /// is numerically identical to the pre-fleet `time ‖ seq` packing,
+    /// so event orders — and golden traces — are unchanged.
     #[inline]
     fn key(&self) -> u128 {
-        ((self.at.as_tu().to_bits() as u128) << 64) | self.seq as u128
+        debug_assert!(self.seq <= SEQ_MASK, "calendar sequence overflowed 48 bits");
+        ((self.at.as_tu().to_bits() as u128) << 64)
+            | ((self.tenant.0 as u128) << SEQ_BITS)
+            | (self.seq & SEQ_MASK) as u128
     }
 }
 
@@ -100,12 +119,28 @@ impl<E> Calendar<E> {
         self.now
     }
 
-    /// Schedules `event` to fire at instant `at`.
+    /// Schedules `event` to fire at instant `at`, tagged with the
+    /// implicit single-tenant id ([`TenantId::SOLO`]).
     ///
     /// # Panics
     /// Panics if `at` is in the past — causality violations are programming
     /// errors, not recoverable conditions.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_for(at, TenantId::SOLO, event);
+    }
+
+    /// Schedules `event` to fire at instant `at` on behalf of `tenant`.
+    ///
+    /// Simultaneous events are delivered tenant-major: all of tenant 0's
+    /// events at an instant, then tenant 1's, and so on — with FIFO
+    /// scheduling order within each tenant. This makes fleet interleaving
+    /// a pure function of `(time, tenant, schedule order)`, independent
+    /// of how tenants happened to be stepped.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — causality violations are programming
+    /// errors, not recoverable conditions.
+    pub fn schedule_for(&mut self, at: SimTime, tenant: TenantId, event: E) {
         assert!(
             at >= self.now,
             "cannot schedule an event in the past ({} < now {})",
@@ -114,7 +149,7 @@ impl<E> Calendar<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        self.heap.push(ScheduledEvent { at, seq, tenant, event });
     }
 
     /// Pops the next event in (time, schedule-order) order and advances the
@@ -227,6 +262,28 @@ mod tests {
         cal.schedule(SimTime::new(2.0), ());
         cal.pop();
         cal.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn simultaneous_events_are_tenant_major() {
+        let mut cal = Calendar::new();
+        // Schedule in scrambled tenant order at one instant.
+        cal.schedule_for(SimTime::new(2.0), TenantId(1), 10u32);
+        cal.schedule_for(SimTime::new(2.0), TenantId(0), 0);
+        cal.schedule_for(SimTime::new(2.0), TenantId(2), 20);
+        cal.schedule_for(SimTime::new(2.0), TenantId(1), 11);
+        cal.schedule_for(SimTime::new(2.0), TenantId(0), 1);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![0, 1, 10, 11, 20]);
+    }
+
+    #[test]
+    fn tenant_ordering_yields_to_time() {
+        let mut cal = Calendar::new();
+        cal.schedule_for(SimTime::new(1.0), TenantId(5), 50u32);
+        cal.schedule_for(SimTime::new(2.0), TenantId(0), 0);
+        assert_eq!(cal.pop().unwrap().event, 50);
+        assert_eq!(cal.pop().unwrap().event, 0);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`prof`] — an opt-in wall-clock self-profiler: RAII spans in
 //!   thread-local call trees, mergeable summaries, sorted self/total
 //!   tables and flamegraph-compatible collapsed stacks.
+//! * [`tenant`] — tenant identity for fleet simulations: [`TenantId`] tags
+//!   calendar entries so N tenant platforms can share one deterministic
+//!   calendar.
 //!
 //! Everything is allocation-light in the hot path (events are plain enums
 //! moved through a `BinaryHeap`) and fully deterministic: two runs with the
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod prof;
 pub mod rng;
 pub mod stats;
+pub mod tenant;
 pub mod time;
 pub mod trace;
 
@@ -42,6 +46,7 @@ pub use calendar::{Calendar, ScheduledEvent};
 pub use engine::{Engine, EventHandler, StepOutcome};
 pub use rng::{RngHub, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use tenant::TenantId;
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     JsonlWriter, Merge, NullObserver, NullObserverFactory, Observer, ObserverFactory,

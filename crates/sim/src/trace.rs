@@ -224,6 +224,26 @@ pub enum TraceEvent {
         /// Queued subtasks over all classes.
         depth: u32,
     },
+    /// A fleet tenant's arrival batch was deferred by the fair-share
+    /// admission gate: the shared private pool is exhausted and the
+    /// tenant already holds at least its fair share of it.
+    AdmissionDeferred {
+        /// Tenant whose batch was deferred.
+        tenant: u32,
+        /// Jobs pushed onto the tenant's admission backlog.
+        jobs: u32,
+        /// Backlogged jobs after the deferral.
+        backlog: u32,
+    },
+    /// Previously deferred jobs cleared the fair-share admission gate.
+    AdmissionResumed {
+        /// Tenant whose backlog drained.
+        tenant: u32,
+        /// Jobs admitted from the backlog.
+        jobs: u32,
+        /// Backlogged jobs remaining after the resume.
+        backlog: u32,
+    },
     /// End-of-run billing settlement for one tier.
     TierSettled {
         /// Tier index.
@@ -255,6 +275,8 @@ impl TraceEvent {
             Self::VmReleased { .. } => "vm_released",
             Self::ScalingDecision { .. } => "scaling_decision",
             Self::QueueDepthSampled { .. } => "queue_depth",
+            Self::AdmissionDeferred { .. } => "admission_deferred",
+            Self::AdmissionResumed { .. } => "admission_resumed",
             Self::TierSettled { .. } => "tier_settled",
             Self::RunEnded { .. } => "run_ended",
         }
@@ -472,13 +494,21 @@ pub struct JsonlWriter<W: io::Write> {
     out: W,
     line: String,
     errored: bool,
+    tenant: Option<u32>,
 }
 
 impl<W: io::Write> JsonlWriter<W> {
     /// Wraps a writer. I/O errors are latched: the first failure stops
     /// further writes rather than panicking mid-simulation.
     pub fn new(out: W) -> Self {
-        Self { out, line: String::with_capacity(160), errored: false }
+        Self { out, line: String::with_capacity(160), errored: false, tenant: None }
+    }
+
+    /// Wraps a writer that stamps every line with a `"tenant":N` field
+    /// (directly after `"t"`), for fleet runs where one file per tenant
+    /// would be unwieldy. [`JsonlWriter::new`] output is unchanged.
+    pub fn with_tenant(out: W, tenant: u32) -> Self {
+        Self { out, line: String::with_capacity(160), errored: false, tenant: Some(tenant) }
     }
 
     /// Whether a write error occurred (output is truncated).
@@ -511,6 +541,9 @@ impl<W: io::Write> Observer for JsonlWriter<W> {
         line.clear();
         let _ = write!(line, "{{\"t\":");
         push_json_f64(line, at.as_tu());
+        if let Some(tenant) = self.tenant {
+            let _ = write!(line, ",\"tenant\":{tenant}");
+        }
         let _ = write!(line, ",\"kind\":\"{}\"", event.kind());
         match *event {
             TraceEvent::JobArrived { job, size_units } => {
@@ -577,6 +610,10 @@ impl<W: io::Write> Observer for JsonlWriter<W> {
             }
             TraceEvent::QueueDepthSampled { depth } => {
                 let _ = write!(line, ",\"depth\":{depth}");
+            }
+            TraceEvent::AdmissionDeferred { tenant, jobs, backlog }
+            | TraceEvent::AdmissionResumed { tenant, jobs, backlog } => {
+                let _ = write!(line, ",\"tenant\":{tenant},\"jobs\":{jobs},\"backlog\":{backlog}");
             }
             TraceEvent::TierSettled { tier, cost, core_tu } => {
                 let _ = write!(line, ",\"tier\":{tier},\"cost\":");
@@ -707,6 +744,8 @@ mod tests {
                 choice: ScalingChoice::Wait,
             },
             TraceEvent::QueueDepthSampled { depth: 11 },
+            TraceEvent::AdmissionDeferred { tenant: 3, jobs: 2, backlog: 2 },
+            TraceEvent::AdmissionResumed { tenant: 3, jobs: 2, backlog: 0 },
             TraceEvent::TierSettled { tier: 0, cost: 100.0, core_tu: 20.0 },
             TraceEvent::RunEnded { events_dispatched: 12345 },
         ];
@@ -719,6 +758,17 @@ mod tests {
         for (line, e) in out.lines().zip(&events) {
             assert!(line.contains(&format!("\"kind\":\"{}\"", e.kind())), "{line}");
         }
+    }
+
+    #[test]
+    fn tenant_stamped_writer_injects_field_after_t() {
+        let mut w = JsonlWriter::with_tenant(Vec::new(), 42);
+        w.on_event(SimTime::new(1.5), &ev());
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(
+            out.trim_end(),
+            "{\"t\":1.5,\"tenant\":42,\"kind\":\"job_arrived\",\"job\":7,\"size_units\":5.25}"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ done
 
 benches=(session)
 if [[ "$quick" == 0 ]]; then
-    benches+=(dispatch hiring metrics lint)
+    benches+=(dispatch hiring metrics lint fleet)
 fi
 
 raw="$(mktemp)"
@@ -72,6 +72,10 @@ for line in open(raw_path):
         if m["name"].startswith("session/full/"):
             entry["sessions_per_s"] = 1.0 / mean_s
             entry["ns_per_event"] = 1e9 / events_per_s
+        if m["name"].startswith("fleet/tenants/"):
+            # Fleet benches report Throughput::Elements(jobs): elem/s is
+            # whole-fleet jobs/sec at that tenant count.
+            entry["jobs_per_s"] = events_per_s
     results[m["name"]] = entry
 
 commit = subprocess.run(

@@ -40,6 +40,13 @@ if [[ "$quick" != "quick" ]]; then
     SCAN_HORIZON=300 SCAN_REPS=1 cargo run -q --release -p scan-bench --bin fig4 -- \
         --quick --trace "$t2" >/dev/null
     cmp "$t1" "$t2" || { echo "FAIL: fixed-seed trace differs between runs" >&2; exit 1; }
+
+    echo "==> fleet determinism (1 vs 8 rayon threads, byte-identical stdout)"
+    f1="$(mktemp)"; f2="$(mktemp)"
+    trap 'rm -f "$t1" "$t2" "$f1" "$f2"' EXIT
+    RAYON_NUM_THREADS=1 cargo run -q --release -p scan-bench --bin fleet -- --quick > "$f1"
+    RAYON_NUM_THREADS=8 cargo run -q --release -p scan-bench --bin fleet -- --quick > "$f2"
+    cmp "$f1" "$f2" || { echo "FAIL: fleet result depends on rayon thread count" >&2; exit 1; }
 fi
 
 echo "==> metrics overhead bench (run-gate: disabled hot path must execute)"
