@@ -18,18 +18,20 @@
 //!   premium, predictive tracks the better baseline.
 //!
 //! Usage: `cargo run --release -p scan-bench --bin fig4 [--quick] [--trace <path>]
-//! [--metrics <path>] [--profile <path>]`
+//! [--store <path>] [--metrics <path>] [--profile <path>]`
 //!
 //! `--trace <path>` additionally dumps the typed JSONL event trace of one
 //! representative session (predictive scaling, 2.0 TU interval);
+//! `--store <path>` ingests that session into the columnar trace store
+//! and writes its compact SCTS export (see `docs/TRACESTORE.md`);
 //! `--metrics <path>` dumps that session's metrics registry (JSONL +
 //! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
 //! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::EXPERIMENT_SEED;
 use scan_bench::{
-    dump_instrumented, dump_trace, instrument_flags_from_args, pm, run_cell, trace_path_from_args,
-    PAPER_REPETITIONS,
+    dump_instrumented, dump_store, dump_trace, instrument_flags_from_args, pm, run_cell,
+    store_path_from_args, trace_path_from_args, PAPER_REPETITIONS,
 };
 use scan_platform::config::{ScanConfig, VariableParams};
 use scan_sched::scaling::ScalingPolicy;
@@ -71,12 +73,20 @@ fn main() {
     println!("  horizon: {sim_time} TU | repetitions: {reps}");
 
     let (metrics_path, profile_path) = instrument_flags_from_args();
-    if trace_path_from_args().is_some() || metrics_path.is_some() || profile_path.is_some() {
+    let store_path = store_path_from_args();
+    if trace_path_from_args().is_some()
+        || store_path.is_some()
+        || metrics_path.is_some()
+        || profile_path.is_some()
+    {
         let mut cfg =
             ScanConfig::new(VariableParams::fig4(ScalingPolicy::Predictive, 2.0), EXPERIMENT_SEED);
         cfg.fixed.sim_time_tu = sim_time;
         if let Some(path) = trace_path_from_args() {
             dump_trace(&cfg, &path);
+        }
+        if let Some(path) = store_path {
+            dump_store(&cfg, &path);
         }
         dump_instrumented(&cfg, metrics_path.as_deref(), profile_path.as_deref());
     }

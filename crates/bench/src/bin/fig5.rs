@@ -20,17 +20,19 @@
 //! pipeline run" rises one notch at a time.
 //!
 //! Usage: `cargo run --release -p scan-bench --bin fig5 [--quick] [--trace <path>]
-//! [--metrics <path>] [--profile <path>]`
+//! [--store <path>] [--metrics <path>] [--profile <path>]`
 //!
 //! `--trace <path>` additionally dumps the typed JSONL event trace of one
 //! representative session (the first frontier plan), reshapes included;
+//! `--store <path>` ingests that session into the columnar trace store
+//! and writes its compact SCTS export (see `docs/TRACESTORE.md`);
 //! `--metrics <path>` dumps that session's metrics registry (JSONL +
 //! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
 //! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::{
-    dump_instrumented, dump_trace, instrument_flags_from_args, pm, trace_path_from_args,
-    EXPERIMENT_SEED, PAPER_REPETITIONS,
+    dump_instrumented, dump_store, dump_trace, instrument_flags_from_args, pm,
+    store_path_from_args, trace_path_from_args, EXPERIMENT_SEED, PAPER_REPETITIONS,
 };
 use scan_platform::config::{RewardKind, ScanConfig, VariableParams};
 use scan_platform::sweep::run_replicated;
@@ -71,8 +73,12 @@ fn main() {
         .collect();
 
     let trace_path = trace_path_from_args();
+    let store_path = store_path_from_args();
     let (metrics_path, profile_path) = instrument_flags_from_args();
-    let wants_dump = trace_path.is_some() || metrics_path.is_some() || profile_path.is_some();
+    let wants_dump = trace_path.is_some()
+        || store_path.is_some()
+        || metrics_path.is_some()
+        || profile_path.is_some();
     if let (true, Some(plan)) = (wants_dump, picks.first()) {
         let mut cfg = ScanConfig::new(
             VariableParams {
@@ -89,6 +95,9 @@ fn main() {
         cfg.forced_plan = Some(plan.stages.clone());
         if let Some(path) = trace_path {
             dump_trace(&cfg, &path);
+        }
+        if let Some(path) = store_path {
+            dump_store(&cfg, &path);
         }
         dump_instrumented(&cfg, metrics_path.as_deref(), profile_path.as_deref());
     }

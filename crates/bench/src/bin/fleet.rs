@@ -6,11 +6,18 @@
 //! a pure function of `(seed, repetition)`, so two invocations — under
 //! *different* `RAYON_NUM_THREADS` — must emit byte-identical stdout.
 //!
-//! Usage: `cargo run --release -p scan-bench --bin fleet [--quick]`
-//! (`--quick` runs the 100-tenant point only; `SCAN_TENANTS=100,1000`
-//! overrides the tenant-count axis.)
+//! Usage: `cargo run --release -p scan-bench --bin fleet [--quick]
+//! [--store <path>]` (`--quick` runs the 100-tenant point only;
+//! `SCAN_TENANTS=100,1000` overrides the tenant-count axis.)
+//!
+//! `--store <path>` additionally re-runs the first axis point's fleet
+//! with one columnar trace store per tenant session and writes the
+//! merged SCTS export (see `docs/TRACESTORE.md`). Like the stdout
+//! contract, the merged export is bit-identical across
+//! `RAYON_NUM_THREADS` — CI diffs the files from a 1-thread and an
+//! 8-thread invocation.
 
-use scan_bench::fleet_cfg;
+use scan_bench::{dump_fleet_store, fleet_cfg, store_path_from_args};
 use scan_platform::fleet::run_fleet_replicated;
 use std::time::Instant;
 
@@ -28,6 +35,9 @@ fn main() {
     };
     let reps = 2u64;
     println!("fleet: run-to-completion multi-tenant fleets ({reps} replications each)");
+    if let (Some(path), Some(&tenants)) = (store_path_from_args(), axis.first()) {
+        dump_fleet_store(&fleet_cfg(tenants), reps, &path);
+    }
     for &tenants in &axis {
         let cfg = fleet_cfg(tenants);
         let t0 = Instant::now();

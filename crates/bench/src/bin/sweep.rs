@@ -21,10 +21,13 @@
 //! * predictive scaling vs the always-/never-scale baselines.
 //!
 //! Usage: `cargo run --release -p scan-bench --bin sweep
-//!         [--full] [--calibrated] [--trace <path>] [--cell-trace <path>]`
+//!         [--full] [--calibrated] [--trace <path>] [--store <path>]
+//!         [--cell-trace <path>]`
 //!
 //! `--trace <path>` dumps the typed JSONL event trace of one
-//! representative session (the grid's first cell); `--cell-trace <path>`
+//! representative session (the grid's first cell); `--store <path>`
+//! ingests that session into the columnar trace store and writes its
+//! compact SCTS export (see `docs/TRACESTORE.md`); `--cell-trace <path>`
 //! writes one JSONL line per grid cell (parameters + the merged
 //! [`DecisionStats`] payload — shape documented in `docs/TRACE_SCHEMA.md`);
 //! `--metrics <path>` dumps the first cell's metrics registry (JSONL +
@@ -32,8 +35,8 @@
 //! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::{
-    dump_instrumented, dump_trace, instrument_flags_from_args, path_flag_from_args,
-    trace_path_from_args, EXPERIMENT_SEED,
+    dump_instrumented, dump_store, dump_trace, instrument_flags_from_args, path_flag_from_args,
+    store_path_from_args, trace_path_from_args, EXPERIMENT_SEED,
 };
 use scan_platform::config::{ParameterGrid, ScanConfig};
 use scan_platform::observers::{DecisionStats, DecisionStatsFactory};
@@ -69,6 +72,9 @@ fn main() {
 
     if let Some(path) = trace_path_from_args() {
         dump_trace(&base, &path);
+    }
+    if let Some(path) = store_path_from_args() {
+        dump_store(&base, &path);
     }
     let (metrics_path, profile_path) = instrument_flags_from_args();
     dump_instrumented(&base, metrics_path.as_deref(), profile_path.as_deref());

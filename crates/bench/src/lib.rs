@@ -23,12 +23,14 @@
 #![forbid(unsafe_code)]
 
 use scan_platform::config::{ScanConfig, VariableParams};
+use scan_platform::fleet::run_fleet_replicated_with;
 use scan_platform::fleet::FleetConfig;
 use scan_platform::instrument::{run_session_instrumented, DEFAULT_WINDOW_TU};
 use scan_platform::metrics::ReplicatedMetrics;
-use scan_platform::session::run_session_traced;
+use scan_platform::session::{run_session_traced, run_session_with};
 use scan_platform::sweep::run_replicated;
 use scan_sched::scaling::ScalingPolicy;
+use scan_tracestore::{TraceStore, TraceStoreFactory};
 use std::path::{Path, PathBuf};
 
 /// Default repetitions: the paper's "all measurements were repeated 10
@@ -88,6 +90,47 @@ pub fn path_flag_from_args(flag: &str) -> Option<PathBuf> {
 /// Parses a `--trace <path>` (or `--trace=<path>`) flag from argv.
 pub fn trace_path_from_args() -> Option<PathBuf> {
     path_flag_from_args("trace")
+}
+
+/// Parses a `--store <path>` (or `--store=<path>`) flag from argv.
+pub fn store_path_from_args() -> Option<PathBuf> {
+    path_flag_from_args("store")
+}
+
+/// Writes a [`TraceStore`] as an SCTS export to `path`, reporting rows,
+/// bytes, and the store digest (the CI fingerprint).
+fn write_store(store: &TraceStore, label: &str, path: &Path) {
+    let bytes = store.to_bytes();
+    match std::fs::write(path, &bytes) {
+        Ok(()) => println!(
+            "store: wrote {} ({label}, {} events, {} bytes, digest {:016x})",
+            path.display(),
+            store.events(),
+            bytes.len(),
+            store.digest()
+        ),
+        Err(e) => eprintln!("store: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Ingests one representative session (repetition 0 of `cfg`) into a
+/// columnar [`TraceStore`] and writes its SCTS export to `path`. The
+/// store-building run is separate from the measured repetitions, so
+/// tables are unaffected — the `--store` analogue of [`dump_trace`].
+pub fn dump_store(cfg: &ScanConfig, path: &Path) {
+    let (_, store) = run_session_with(cfg, 0, TraceStore::new());
+    write_store(&store, "1 session", path);
+}
+
+/// Runs `repetitions` whole fleets with one [`TraceStore`] per tenant
+/// session, merges them in `(repetition, tenant)` order, and writes the
+/// merged SCTS export to `path`. The merged store — and therefore the
+/// export bytes and digest — is bit-identical for any
+/// `RAYON_NUM_THREADS`, which CI exploits by diffing two exports.
+pub fn dump_fleet_store(cfg: &FleetConfig, repetitions: u64, path: &Path) {
+    let factory = TraceStoreFactory::fleet(u64::from(cfg.tenants));
+    let (_, store) = run_fleet_replicated_with(cfg, repetitions, &factory);
+    write_store(&store, &format!("{} fleet reps", repetitions), path);
 }
 
 /// Dumps the typed JSONL trace of one representative session (repetition

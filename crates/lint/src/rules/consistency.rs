@@ -10,8 +10,13 @@
 //!   actually registered in library code (`registry.counter(…)` /
 //!   `.histogram(…)` / `.series(…)` call sites): the catalogue lists
 //!   exactly the registered families.
+//! * `store-doc-drift` — `docs/TRACESTORE.md` against the columnar
+//!   store's schema in `crates/tracestore/src/schema.rs`: every
+//!   `EventKind` has a column table under "Column layouts" whose rows
+//!   equal the declared column names, no phantom tables or columns, and
+//!   the "Aggregations" table lists exactly the `Agg::name` labels.
 //!
-//! Both sides are parsed structurally (tokens on the code side, table
+//! All sides are parsed structurally (tokens on the code side, table
 //! rows on the markdown side), so a renamed field or a new variant fails
 //! CI the moment it lands without its documentation line.
 
@@ -464,6 +469,297 @@ pub fn check_metrics_doc(
         }
     }
     diags
+}
+
+/// The code-side store model extracted from the trace store's
+/// `schema.rs`.
+#[derive(Debug, Default)]
+pub struct StoreModel {
+    /// `EventKind` variant name → the tag `EventKind::tag` returns.
+    pub tags: BTreeMap<String, String>,
+    /// Variant name → (line of its `columns` arm, declared column names
+    /// in storage order).
+    pub columns: BTreeMap<String, (u32, Vec<String>)>,
+    /// The labels `Agg::name` can return.
+    pub agg_names: Vec<String>,
+}
+
+/// One documented column table of TRACESTORE.md's "Column layouts".
+#[derive(Debug)]
+struct StoreDocTable {
+    tag: String,
+    line: u32,
+    /// Column name → line of its table row.
+    columns: Vec<(String, u32)>,
+}
+
+/// Extracts the [`StoreModel`] from the lexed trace-store `schema.rs`.
+///
+/// `EventKind::columns` declares one `const NAME: &[ColumnSpec] = …;`
+/// item per layout (const-fn slices are not `'static`-promoted, so the
+/// code is forced into this shape) and then maps variants to consts in
+/// its `match`; the parser mirrors that: collect the string literals of
+/// each `const` item, then resolve `Self::Variant => CONST` arms.
+pub fn parse_store_model(src: &SourceFile) -> StoreModel {
+    let code: Vec<&Token> = src.code_tokens().map(|(_, t)| t).collect();
+    let mut model = StoreModel::default();
+    if let Some(body) = brace_body_after(src, &code, &["fn", "tag"]) {
+        model.tags = parse_kind_arms(src, &code[body.0..body.1]);
+    }
+    if let Some(body) = brace_body_after(src, &code, &["fn", "columns"]) {
+        let body = &code[body.0..body.1];
+        let consts = parse_const_string_lists(src, body);
+        for (variant, (line, const_name)) in parse_const_arms(src, body) {
+            let cols = consts.get(&const_name).cloned().unwrap_or_default();
+            model.columns.insert(variant, (line, cols));
+        }
+    }
+    if let Some(body) = brace_body_after(src, &code, &["fn", "name"]) {
+        model.agg_names = code[body.0..body.1]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .filter_map(|t| t.str_content(&src.text))
+            .map(str::to_string)
+            .collect();
+    }
+    model
+}
+
+/// Collects `const NAME: … = …;` items, mapping each const's name to the
+/// string literals appearing in its initialiser (the column names).
+fn parse_const_string_lists(src: &SourceFile, body: &[&Token]) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    let mut k = 0;
+    while k < body.len() {
+        let is_const = body[k].kind == TokenKind::Ident && src.text_of(body[k]) == "const";
+        let Some(name) = body.get(k + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        if !is_const {
+            k += 1;
+            continue;
+        }
+        let mut strings = Vec::new();
+        k += 2;
+        while k < body.len() && !matches!(body[k].kind, TokenKind::Punct(b';')) {
+            if body[k].kind == TokenKind::Str {
+                if let Some(s) = body[k].str_content(&src.text) {
+                    strings.push(s.to_string());
+                }
+            }
+            k += 1;
+        }
+        out.insert(src.text_of(name).to_string(), strings);
+    }
+    out
+}
+
+/// Parses `Self::Variant => CONST` arms: variant name → (line, const
+/// identifier the arm resolves to).
+fn parse_const_arms(src: &SourceFile, body: &[&Token]) -> BTreeMap<String, (u32, String)> {
+    let mut out = BTreeMap::new();
+    let mut k = 0;
+    while k + 3 < body.len() {
+        let is_self_path = body[k].kind == TokenKind::Ident
+            && src.text_of(body[k]) == "Self"
+            && matches!(body[k + 1].kind, TokenKind::Punct(b':'))
+            && matches!(body[k + 2].kind, TokenKind::Punct(b':'));
+        if !is_self_path {
+            k += 1;
+            continue;
+        }
+        let Some(variant) = body.get(k + 3).filter(|t| t.kind == TokenKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        // Scan past `=>` to the arm's target identifier.
+        let mut j = k + 4;
+        while j < body.len() && body[j].kind != TokenKind::Ident {
+            j += 1;
+        }
+        match body.get(j) {
+            Some(t) if src.text_of(t) != "Self" => {
+                out.insert(
+                    src.text_of(variant).to_string(),
+                    (variant.line, src.text_of(t).to_string()),
+                );
+                k = j + 1;
+            }
+            _ => k = j, // malformed arm; resync on the next `Self::`
+        }
+    }
+    out
+}
+
+/// Cross-checks TRACESTORE.md against the store model. `doc_path` and
+/// `code_path` are used for diagnostic locations only.
+pub fn check_tracestore_doc(
+    doc_path: &Path,
+    doc_text: &str,
+    code_path: &Path,
+    model: &StoreModel,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut emit = |path: &Path, line: u32, message: String| {
+        diags.push(Diagnostic {
+            rule: "store-doc-drift",
+            severity: Severity::Error,
+            path: path.to_path_buf(),
+            line,
+            col: 1,
+            message,
+        });
+    };
+
+    let (tables, agg_rows) = parse_store_doc(doc_text);
+    if model.columns.is_empty() {
+        emit(code_path, 1, "could not locate `EventKind::columns` to cross-check".to_string());
+        return diags;
+    }
+    if tables.is_empty() {
+        emit(doc_path, 1, "no `### \\`tag\\`` tables found under `## Column layouts`".to_string());
+        return diags;
+    }
+
+    for (variant, (line, cols)) in &model.columns {
+        let Some(tag) = model.tags.get(variant) else {
+            emit(code_path, *line, format!("EventKind::{variant} has no arm in EventKind::tag"));
+            continue;
+        };
+        match tables.iter().find(|t| &t.tag == tag) {
+            None => emit(
+                code_path,
+                *line,
+                format!(
+                    "EventKind::{variant} (`{tag}`) has no column table in {}",
+                    doc_path.display()
+                ),
+            ),
+            Some(table) => {
+                for col in cols {
+                    if !table.columns.iter().any(|(c, _)| c == col) {
+                        emit(
+                            doc_path,
+                            table.line,
+                            format!(
+                                "table `{tag}` is missing a row for column `{col}` of \
+                                 EventKind::{variant}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for table in &tables {
+        let Some((variant, _)) = model.tags.iter().find(|(_, tag)| *tag == &table.tag) else {
+            emit(
+                doc_path,
+                table.line,
+                format!("documented table `{}` does not correspond to any EventKind", table.tag),
+            );
+            continue;
+        };
+        let declared =
+            model.columns.get(variant).map(|(_, cols)| cols.as_slice()).unwrap_or_default();
+        for (col, row_line) in &table.columns {
+            // `t` and `tenant` are implicit on every kind; documenting
+            // them in a layout is allowed, never drift.
+            if col == "t" || col == "tenant" {
+                continue;
+            }
+            if !declared.iter().any(|c| c == col) {
+                emit(
+                    doc_path,
+                    *row_line,
+                    format!(
+                        "documented column `{col}` is not declared for `{}` \
+                         (EventKind::{variant})",
+                        table.tag
+                    ),
+                );
+            }
+        }
+    }
+
+    if model.agg_names.is_empty() {
+        emit(code_path, 1, "could not locate `Agg::name` to cross-check".to_string());
+    } else {
+        for name in &model.agg_names {
+            if !agg_rows.iter().any(|(doc_name, _)| doc_name == name) {
+                emit(
+                    doc_path,
+                    1,
+                    format!("aggregation `{name}` is missing from the `## Aggregations` table"),
+                );
+            }
+        }
+        for (name, line) in &agg_rows {
+            if !model.agg_names.contains(name) {
+                emit(
+                    doc_path,
+                    *line,
+                    format!("documented aggregation `{name}` does not exist in Agg"),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Parses TRACESTORE.md: the ``### `tag` `` column tables scoped to the
+/// "Column layouts" section, and the `` | `name` | `` rows of the
+/// "Aggregations" section.
+fn parse_store_doc(doc_text: &str) -> (Vec<StoreDocTable>, Vec<(String, u32)>) {
+    let mut tables: Vec<StoreDocTable> = Vec::new();
+    let mut aggs = Vec::new();
+    let mut in_layouts = false;
+    let mut in_aggs = false;
+    let mut in_fence = false;
+    for (idx, raw) in doc_text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim_end();
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_layouts = heading.trim() == "Column layouts";
+            in_aggs = heading.trim() == "Aggregations";
+            continue;
+        }
+        if in_layouts {
+            if let Some(rest) = line.strip_prefix("### `") {
+                if let Some((tag, _)) = rest.split_once('`') {
+                    tables.push(StoreDocTable {
+                        tag: tag.to_string(),
+                        line: line_no,
+                        columns: Vec::new(),
+                    });
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("| `") {
+                if let Some((col, _)) = rest.split_once('`') {
+                    if let Some(table) = tables.last_mut() {
+                        table.columns.push((col.to_string(), line_no));
+                    }
+                }
+            }
+        }
+        if in_aggs {
+            if let Some(rest) = line.strip_prefix("| `") {
+                if let Some((name, _)) = rest.split_once('`') {
+                    aggs.push((name.to_string(), line_no));
+                }
+            }
+        }
+    }
+    (tables, aggs)
 }
 
 /// Extracts `(metric name, line)` rows from the "Metric catalogue"

@@ -93,6 +93,12 @@ pub const RULES: &[RuleInfo] = &[
                   code, in both directions",
     },
     RuleInfo {
+        id: "store-doc-drift",
+        severity: Severity::Error,
+        summary: "docs/TRACESTORE.md must match the trace store's schema: one column table per \
+                  EventKind plus the Agg labels, in both directions",
+    },
+    RuleInfo {
         id: "bad-allow",
         severity: Severity::Error,
         summary: "scan-lint allow directives must be well-formed, name known rules, and carry a \

@@ -16,9 +16,11 @@ use std::path::{Path, PathBuf};
 
 /// Crates on the simulation path: determinism rules apply to their
 /// library code. Everything else (kb, genomics, metrics, bench, lint,
-/// the root facade) is free to use wall clocks and hash maps.
+/// the root facade) is free to use wall clocks and hash maps. The trace
+/// store is included: its exports are digest-pinned in CI, so hash
+/// iteration or entropy there breaks the determinism contract too.
 pub const SIM_FACING_CRATES: &[&str] =
-    &["scan-sim", "scan-sched", "scan-cloud", "scan-workload", "scan-platform"];
+    &["scan-sim", "scan-sched", "scan-cloud", "scan-workload", "scan-platform", "scan-tracestore"];
 
 /// One discovered source file with the facts the rules scope by.
 pub struct WorkspaceFile {
@@ -41,7 +43,7 @@ impl WorkspaceFile {
     }
 }
 
-/// The loaded workspace: every in-scope source file plus the two
+/// The loaded workspace: every in-scope source file plus the three
 /// reference documents.
 pub struct Workspace {
     /// Workspace root directory.
@@ -52,6 +54,8 @@ pub struct Workspace {
     pub trace_schema: Option<String>,
     /// `docs/METRICS.md` content, if present.
     pub metrics_doc: Option<String>,
+    /// `docs/TRACESTORE.md` content, if present.
+    pub tracestore_doc: Option<String>,
 }
 
 /// Outcome of a full run.
@@ -92,6 +96,7 @@ impl Workspace {
             files,
             trace_schema: fs::read_to_string(root.join("docs/TRACE_SCHEMA.md")).ok(),
             metrics_doc: fs::read_to_string(root.join("docs/METRICS.md")).ok(),
+            tracestore_doc: fs::read_to_string(root.join("docs/TRACESTORE.md")).ok(),
         })
     }
 
@@ -126,8 +131,27 @@ impl Workspace {
                     &model,
                 ));
             }
-            (None, _) => diags.push(missing_doc("docs/TRACE_SCHEMA.md")),
-            (_, None) => diags.push(missing_doc("crates/sim/src/trace.rs")),
+            (None, _) => diags.push(missing_doc("docs/TRACE_SCHEMA.md", "trace-doc-drift")),
+            (_, None) => diags.push(missing_doc("crates/sim/src/trace.rs", "trace-doc-drift")),
+        }
+
+        let store_src = self.files.iter().find(|wf| {
+            wf.crate_name == "scan-tracestore" && wf.file.path.ends_with("src/schema.rs")
+        });
+        match (&self.tracestore_doc, store_src) {
+            (Some(doc), Some(src)) => {
+                let model = consistency::parse_store_model(&src.file);
+                diags.extend(consistency::check_tracestore_doc(
+                    Path::new("docs/TRACESTORE.md"),
+                    doc,
+                    &src.file.path,
+                    &model,
+                ));
+            }
+            (None, _) => diags.push(missing_doc("docs/TRACESTORE.md", "store-doc-drift")),
+            (_, None) => {
+                diags.push(missing_doc("crates/tracestore/src/schema.rs", "store-doc-drift"));
+            }
         }
 
         match &self.metrics_doc {
@@ -145,15 +169,15 @@ impl Workspace {
                     &registered,
                 ));
             }
-            None => diags.push(missing_doc("docs/METRICS.md")),
+            None => diags.push(missing_doc("docs/METRICS.md", "metrics-doc-drift")),
         }
         diags
     }
 }
 
-fn missing_doc(path: &str) -> Diagnostic {
+fn missing_doc(path: &str, rule: &'static str) -> Diagnostic {
     Diagnostic {
-        rule: if path.contains("METRICS") { "metrics-doc-drift" } else { "trace-doc-drift" },
+        rule,
         severity: crate::diag::Severity::Error,
         path: PathBuf::from(path),
         line: 1,

@@ -2,8 +2,8 @@
 //! caught, and the real committed tree must parse non-vacuously.
 
 use scan_lint::rules::consistency::{
-    check_metrics_doc, check_trace_schema, collect_registered_metrics, parse_trace_model,
-    RegisteredMetrics,
+    check_metrics_doc, check_trace_schema, check_tracestore_doc, collect_registered_metrics,
+    parse_store_model, parse_trace_model, RegisteredMetrics,
 };
 use scan_lint::source::SourceFile;
 use std::path::{Path, PathBuf};
@@ -163,4 +163,158 @@ fn real_trace_model_parses_non_vacuously() {
     assert!(model.variants.len() >= 10, "only {} variants parsed", model.variants.len());
     assert_eq!(model.variants.len(), model.kinds.len(), "every variant has a kind arm");
     assert!(!model.choice_names.is_empty(), "ScalingChoice labels parsed");
+}
+
+const STORE_CODE: &str = r#"
+impl EventKind {
+    /// Stable table tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::JobArrived => "job_arrived",
+            Self::VmHired => "vm_hired",
+        }
+    }
+
+    /// Declared columns.
+    pub fn columns(self) -> &'static [ColumnSpec] {
+        const JOB_ARRIVED: &[ColumnSpec] = &[u32c("job"), f64c("size_units")];
+        const VM_HIRED: &[ColumnSpec] = &[u32c("vm"), dictc("tier")];
+        match self {
+            Self::JobArrived => JOB_ARRIVED,
+            Self::VmHired => VM_HIRED,
+        }
+    }
+}
+
+impl Agg {
+    /// Stable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Count => "count",
+            Self::P95 => "p95",
+        }
+    }
+}
+"#;
+
+const STORE_DOC: &str = "\
+# Store
+
+## Column layouts
+
+### `job_arrived`
+
+| column | type | notes |
+|---|---|---|
+| `job` | u32 | job id |
+| `size_units` | f64 | size |
+
+### `vm_hired`
+
+| column | type | notes |
+|---|---|---|
+| `vm` | u32 | vm id |
+| `tier` | dict | tier label |
+
+## Aggregations
+
+| aggregation | semantics |
+|---|---|
+| `count` | rows |
+| `p95` | tail |
+";
+
+fn store_diags(doc: &str, code: &str) -> Vec<String> {
+    let src = SourceFile::new(PathBuf::from("schema.rs"), code.to_string());
+    let model = parse_store_model(&src);
+    check_tracestore_doc(Path::new("TRACESTORE.md"), doc, Path::new("schema.rs"), &model)
+        .into_iter()
+        .map(|d| d.render())
+        .collect()
+}
+
+#[test]
+fn matching_store_doc_is_clean() {
+    assert_eq!(store_diags(STORE_DOC, STORE_CODE), Vec::<String>::new());
+}
+
+#[test]
+fn undocumented_store_kind_is_drift() {
+    let doc = STORE_DOC.split("### `vm_hired`").next().expect("doc splits");
+    let doc = format!("{doc}\n## Aggregations\n\n| `count` | rows |\n| `p95` | tail |\n");
+    let out = store_diags(&doc, STORE_CODE);
+    assert!(
+        out.iter().any(|d| d.contains("EventKind::VmHired (`vm_hired`) has no column table")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn phantom_store_table_is_drift() {
+    let doc = STORE_DOC.replace("### `vm_hired`", "### `vm_acquired`");
+    let out = store_diags(&doc, STORE_CODE);
+    assert!(out.iter().any(|d| d.contains("`vm_hired`) has no column table")), "{out:?}");
+    assert!(
+        out.iter().any(|d| d.contains("table `vm_acquired` does not correspond to any EventKind")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn missing_store_column_row_is_drift() {
+    let doc = STORE_DOC.replace("| `size_units` | f64 | size |\n", "");
+    let out = store_diags(&doc, STORE_CODE);
+    assert!(out.iter().any(|d| d.contains("missing a row for column `size_units`")), "{out:?}");
+}
+
+#[test]
+fn phantom_store_column_row_is_drift() {
+    let doc = STORE_DOC.replace(
+        "| `tier` | dict | tier label |",
+        "| `tier` | dict | tier label |\n| `ghost` | u8 | n/a |",
+    );
+    let out = store_diags(&doc, STORE_CODE);
+    assert!(
+        out.iter().any(|d| d.contains("documented column `ghost` is not declared for `vm_hired`")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn implicit_store_columns_are_never_drift() {
+    let doc = STORE_DOC.replace(
+        "| `vm` | u32 | vm id |",
+        "| `t` | f64 | sim time |\n| `tenant` | u32 | tenant |\n| `vm` | u32 | vm id |",
+    );
+    assert_eq!(store_diags(&doc, STORE_CODE), Vec::<String>::new());
+}
+
+#[test]
+fn aggregation_drift_is_caught_both_ways() {
+    let doc = STORE_DOC.replace("| `p95` | tail |\n", "");
+    let out = store_diags(&doc, STORE_CODE);
+    assert!(out.iter().any(|d| d.contains("aggregation `p95` is missing")), "{out:?}");
+
+    let doc = STORE_DOC.replace("| `p95` | tail |", "| `p95` | tail |\n| `p99` | tail |");
+    let out = store_diags(&doc, STORE_CODE);
+    assert!(out.iter().any(|d| d.contains("aggregation `p99` does not exist in Agg")), "{out:?}");
+}
+
+#[test]
+fn store_tables_outside_column_layouts_are_ignored() {
+    let doc = format!("{STORE_DOC}\n## Export format\n\n### `not_a_kind`\n\n| `x` | raw |\n");
+    assert_eq!(store_diags(&doc, STORE_CODE), Vec::<String>::new());
+}
+
+#[test]
+fn real_store_model_parses_non_vacuously() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("crates/tracestore/src/schema.rs");
+    let text = std::fs::read_to_string(&path).expect("schema.rs exists at the workspace root");
+    let model = parse_store_model(&SourceFile::new(path, text));
+    assert!(model.columns.len() >= 15, "only {} kinds parsed", model.columns.len());
+    assert_eq!(model.columns.len(), model.tags.len(), "every kind has a tag arm");
+    assert_eq!(model.agg_names.len(), 6, "all Agg labels parsed");
+    let (_, dispatched) = &model.columns["SubtaskDispatched"];
+    assert!(dispatched.contains(&"tier".to_string()), "derived tier column parsed");
 }

@@ -1,0 +1,510 @@
+//! The in-process columnar trace store: an [`Observer`] that turns the
+//! event stream into per-kind typed tables during the run.
+//!
+//! Ingest is a match on the event variant plus a handful of `Vec`
+//! pushes — no strings are formatted and nothing is re-parsed later, in
+//! contrast to the JSONL sink whose output every consumer had to decode
+//! again. Two enrichments happen at ingest time because they are free
+//! while the stream is live and expensive afterwards:
+//!
+//! * **Tier attribution.** The store tracks every VM's current tier from
+//!   its `vm_hired`/`vm_reshaped` history, so `subtask_dispatched` rows
+//!   carry a derived `tier` label — the "p95 queue wait per tier" query
+//!   needs no join.
+//! * **Tenant stamping.** Every row records its tenant (0 for solo
+//!   sessions); merged fleet stores therefore stay per-tenant queryable.
+//!
+//! Merging ([`Merge`]) concatenates tables row-wise, remapping
+//! dictionary codes; callers merge in a fixed (repetition, tenant)
+//! order, so merged stores — and their exports — are bit-identical for
+//! any `RAYON_NUM_THREADS` (the same contract every observer in this
+//! workspace honours; see `docs/TRACESTORE.md` § Determinism).
+
+use crate::column::Column;
+use crate::schema::{EventKind, ALL_KINDS};
+use scan_sim::{Merge, Observer, ObserverFactory, SimTime, TraceEvent};
+
+/// The label a tier index is stored under: the catalogue order of
+/// `Platform::new` (0 = private, 1 = public); later indices would be
+/// spot-style tiers and keep their numeric name until they earn one.
+pub fn tier_label(tier: u32) -> &'static str {
+    match tier {
+        0 => "private",
+        1 => "public",
+        _ => "tier2+",
+    }
+}
+
+/// The label used when a dispatching VM was never seen being hired
+/// (possible only for synthetic streams; live sessions always hire
+/// before dispatching).
+pub const UNKNOWN_TIER: &str = "unknown";
+
+/// One event kind's columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    kind: EventKind,
+    /// Event times as `f64` bit patterns (monotone non-decreasing).
+    t_bits: Vec<u64>,
+    /// Owning tenant per row.
+    tenant: Vec<u32>,
+    /// Declared columns, parallel to [`EventKind::columns`].
+    cols: Vec<Column>,
+}
+
+impl Table {
+    fn new(kind: EventKind) -> Table {
+        Table {
+            kind,
+            t_bits: Vec::new(),
+            tenant: Vec::new(),
+            cols: kind.columns().iter().map(|spec| Column::new(spec.ty)).collect(),
+        }
+    }
+
+    /// The kind whose rows this table holds.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.t_bits.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.t_bits.is_empty()
+    }
+
+    /// Event time of row `i`, in TU.
+    pub fn time_tu(&self, i: usize) -> f64 {
+        f64::from_bits(self.t_bits[i])
+    }
+
+    /// The raw time column (bit patterns).
+    pub fn t_bits(&self) -> &[u64] {
+        &self.t_bits
+    }
+
+    /// The tenant column.
+    pub fn tenant(&self) -> &[u32] {
+        &self.tenant
+    }
+
+    /// The declared columns, in [`EventKind::columns`] order.
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// A declared column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.kind.column_index(name).map(|i| &self.cols[i])
+    }
+
+    /// Rebuilds a table from decoded parts (export reader). Lengths are
+    /// the reader's responsibility; `check_invariants` re-verifies.
+    pub(crate) fn from_parts(
+        kind: EventKind,
+        t_bits: Vec<u64>,
+        tenant: Vec<u32>,
+        cols: Vec<Column>,
+    ) -> Table {
+        Table { kind, t_bits, tenant, cols }
+    }
+
+    fn push_meta(&mut self, at: SimTime, tenant: u32) {
+        self.t_bits.push(at.as_tu().to_bits());
+        self.tenant.push(tenant);
+    }
+
+    fn append(&mut self, other: &Table) {
+        self.t_bits.extend_from_slice(&other.t_bits);
+        self.tenant.extend_from_slice(&other.tenant);
+        for (mine, theirs) in self.cols.iter_mut().zip(&other.cols) {
+            mine.append(theirs);
+        }
+    }
+}
+
+/// Saturating id narrowing: upstream ids are `u32` arena slots carried
+/// in `u64` fields, so this is lossless for live streams.
+fn narrow(id: u64) -> u32 {
+    u32::try_from(id).unwrap_or(u32::MAX)
+}
+
+/// The columnar trace store. Build one per session (it is an
+/// [`Observer`]), or let [`TraceStoreFactory`] build one per parallel
+/// session and merge the results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStore {
+    tables: Vec<Table>,
+    /// Tenant id stamped on every ingested row (admission events carry
+    /// their own tenant and override the stamp).
+    tenant: u32,
+    /// VM id → current tier index, maintained from hire/reshape events.
+    vm_tier: Vec<u32>,
+    /// Total events ingested (= Σ table rows).
+    events: u64,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceStore {
+    /// An empty store stamping tenant 0 (single-tenant sessions).
+    pub fn new() -> TraceStore {
+        Self::for_tenant(0)
+    }
+
+    /// An empty store stamping every row with `tenant` (fleet sessions).
+    pub fn for_tenant(tenant: u32) -> TraceStore {
+        TraceStore {
+            tables: ALL_KINDS.iter().map(|&k| Table::new(k)).collect(),
+            tenant,
+            vm_tier: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// The table for `kind` (possibly empty).
+    pub fn table(&self, kind: EventKind) -> &Table {
+        &self.tables[kind as usize]
+    }
+
+    /// All tables, in [`ALL_KINDS`] order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Total events ingested across all tables.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Rebuilds a store from decoded tables (export reader). The
+    /// vm→tier scratch map is not part of the persisted state — derived
+    /// columns were materialized at ingest time — so a decoded store
+    /// queries identically but should not ingest further events.
+    pub(crate) fn from_tables(tables: Vec<Table>) -> TraceStore {
+        let events = tables.iter().map(|t| t.rows() as u64).sum();
+        TraceStore { tables, tenant: 0, vm_tier: Vec::new(), events }
+    }
+
+    /// The tier currently attributed to `vm`, as a label.
+    fn tier_of(&self, vm: u64) -> &'static str {
+        match self.vm_tier.get(vm as usize) {
+            Some(&t) if t != u32::MAX => tier_label(t),
+            _ => UNKNOWN_TIER,
+        }
+    }
+
+    fn note_tier(&mut self, vm: u64, tier: u32) {
+        let idx = vm as usize;
+        if idx >= self.vm_tier.len() {
+            self.vm_tier.resize(idx + 1, u32::MAX);
+        }
+        self.vm_tier[idx] = tier;
+    }
+
+    /// Ingests one event (the [`Observer`] impl delegates here).
+    pub fn ingest(&mut self, at: SimTime, event: &TraceEvent) {
+        let kind = EventKind::of(event);
+        self.events += 1;
+        // Tier attribution must be current before the row is written.
+        match *event {
+            TraceEvent::VmHired { vm, tier, .. } | TraceEvent::VmReshaped { vm, tier, .. } => {
+                self.note_tier(vm, tier)
+            }
+            _ => {}
+        }
+        let tier_attr = match *event {
+            TraceEvent::SubtaskDispatched { vm, .. } => Some(self.tier_of(vm)),
+            _ => None,
+        };
+        let tenant = match *event {
+            TraceEvent::AdmissionDeferred { tenant, .. }
+            | TraceEvent::AdmissionResumed { tenant, .. } => tenant,
+            _ => self.tenant,
+        };
+        let table = &mut self.tables[kind as usize];
+        table.push_meta(at, tenant);
+        let cols = &mut table.cols;
+        match *event {
+            TraceEvent::JobArrived { job, size_units } => {
+                cols[0].push_u32(narrow(job));
+                cols[1].push_f64(size_units);
+            }
+            TraceEvent::JobStageAdvanced { job, stage, shards, cores } => {
+                cols[0].push_u32(narrow(job));
+                cols[1].push_u32(stage);
+                cols[2].push_u32(shards);
+                cols[3].push_u32(cores);
+            }
+            TraceEvent::JobCompleted { job, latency_tu, reward, core_stages } => {
+                cols[0].push_u32(narrow(job));
+                cols[1].push_f64(latency_tu);
+                cols[2].push_f64(reward);
+                cols[3].push_f64(core_stages);
+            }
+            TraceEvent::SubtaskDispatched { job, stage, vm, cores, waited_tu, busy_tu } => {
+                cols[0].push_u32(narrow(job));
+                cols[1].push_u32(stage);
+                cols[2].push_u32(narrow(vm));
+                cols[3].push_u32(cores);
+                cols[4].push_f64(waited_tu);
+                cols[5].push_f64(busy_tu);
+                cols[6].push_label(tier_attr.unwrap_or(UNKNOWN_TIER));
+            }
+            TraceEvent::SubtaskDone { job, stage, vm } => {
+                cols[0].push_u32(narrow(job));
+                cols[1].push_u32(stage);
+                cols[2].push_u32(narrow(vm));
+            }
+            TraceEvent::VmHired { vm, tier, cores } => {
+                cols[0].push_u32(narrow(vm));
+                cols[1].push_label(tier_label(tier));
+                cols[2].push_u32(cores);
+            }
+            TraceEvent::VmBooted { vm, cores } => {
+                cols[0].push_u32(narrow(vm));
+                cols[1].push_u32(cores);
+            }
+            TraceEvent::VmReshaped { vm, tier, cores_from, cores_to } => {
+                cols[0].push_u32(narrow(vm));
+                cols[1].push_label(tier_label(tier));
+                cols[2].push_u32(cores_from);
+                cols[3].push_u32(cores_to);
+            }
+            TraceEvent::VmReleased { vm, tier, cores } => {
+                cols[0].push_u32(narrow(vm));
+                cols[1].push_label(tier_label(tier));
+                cols[2].push_u32(cores);
+            }
+            TraceEvent::ScalingDecision {
+                stage,
+                cores,
+                queued_jobs,
+                delay_cost,
+                hire_cost,
+                choice,
+            } => {
+                cols[0].push_u32(stage);
+                cols[1].push_u32(cores);
+                cols[2].push_u32(queued_jobs);
+                cols[3].push_f64(delay_cost);
+                cols[4].push_f64(hire_cost);
+                cols[5].push_label(choice.name());
+            }
+            TraceEvent::QueueDepthSampled { depth } => {
+                cols[0].push_u32(depth);
+            }
+            TraceEvent::AdmissionDeferred { jobs, backlog, .. }
+            | TraceEvent::AdmissionResumed { jobs, backlog, .. } => {
+                cols[0].push_u32(jobs);
+                cols[1].push_u32(backlog);
+            }
+            TraceEvent::TierSettled { tier, cost, core_tu } => {
+                cols[0].push_label(tier_label(tier));
+                cols[1].push_f64(cost);
+                cols[2].push_f64(core_tu);
+            }
+            TraceEvent::RunEnded { events_dispatched } => {
+                cols[0].push_u64(events_dispatched);
+            }
+        }
+    }
+
+    /// Sanity check used by tests and debug assertions: every table's
+    /// columns agree on the row count.
+    pub fn check_invariants(&self) -> bool {
+        self.tables.iter().all(|t| {
+            t.tenant.len() == t.t_bits.len() && t.cols.iter().all(|c| c.len() == t.t_bits.len())
+        }) && self.events == self.tables.iter().map(|t| t.rows() as u64).sum::<u64>()
+    }
+}
+
+impl Observer for TraceStore {
+    fn on_event(&mut self, at: SimTime, event: &TraceEvent) {
+        self.ingest(at, event);
+    }
+}
+
+impl Merge for TraceStore {
+    /// Appends `other`'s rows after this store's own, per table.
+    /// Determinism contract: callers merge in session-ordinal order.
+    fn merge(&mut self, other: TraceStore) {
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            mine.append(theirs);
+        }
+        self.events += other.events;
+    }
+}
+
+/// Builds one [`TraceStore`] per parallel session, stamping rows with
+/// the session's tenant ordinal — the observer-factory bridge that lets
+/// whole-fleet (or replicated-sweep) stores shard over rayon and merge
+/// deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStoreFactory {
+    /// Tenants per repetition: the factory's session ordinal is
+    /// `repetition × tenants + tenant` (the fleet convention), so the
+    /// stamped tenant is `ordinal % tenants`. Use 1 for plain replicated
+    /// solo sessions (every row stamps tenant 0).
+    pub tenants: u64,
+}
+
+impl TraceStoreFactory {
+    /// A factory for solo-session replications (tenant 0 throughout).
+    pub fn solo() -> TraceStoreFactory {
+        TraceStoreFactory { tenants: 1 }
+    }
+
+    /// A factory for fleets of `tenants` tenants per repetition.
+    pub fn fleet(tenants: u64) -> TraceStoreFactory {
+        assert!(tenants >= 1, "a fleet has at least one tenant");
+        TraceStoreFactory { tenants }
+    }
+}
+
+impl ObserverFactory for TraceStoreFactory {
+    type Obs = TraceStore;
+    type Summary = TraceStore;
+
+    fn build(&self, session: u64) -> TraceStore {
+        TraceStore::for_tenant((session % self.tenants) as u32)
+    }
+
+    fn finish(&self, obs: TraceStore) -> TraceStore {
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_sim::ScalingChoice;
+
+    fn t(tu: f64) -> SimTime {
+        SimTime::new(tu)
+    }
+
+    #[test]
+    fn ingest_fills_the_right_table() {
+        let mut store = TraceStore::new();
+        store.ingest(t(1.0), &TraceEvent::JobArrived { job: 3, size_units: 5.0 });
+        store.ingest(t(2.0), &TraceEvent::QueueDepthSampled { depth: 9 });
+        store.ingest(t(2.0), &TraceEvent::QueueDepthSampled { depth: 7 });
+        assert_eq!(store.table(EventKind::JobArrived).rows(), 1);
+        assert_eq!(store.table(EventKind::QueueDepth).rows(), 2);
+        assert_eq!(store.events(), 3);
+        assert!(store.check_invariants());
+        let depth = store.table(EventKind::QueueDepth).column("depth").expect("declared column");
+        assert_eq!(depth.value_f64(1), 7.0);
+    }
+
+    #[test]
+    fn dispatch_rows_carry_the_hiring_tier() {
+        let mut store = TraceStore::new();
+        store.ingest(t(0.5), &TraceEvent::VmHired { vm: 0, tier: 1, cores: 4 });
+        store.ingest(t(0.6), &TraceEvent::VmHired { vm: 1, tier: 0, cores: 2 });
+        for (vm, at) in [(0u64, 1.0), (1, 1.5), (0, 2.0)] {
+            store.ingest(
+                t(at),
+                &TraceEvent::SubtaskDispatched {
+                    job: 1,
+                    stage: 0,
+                    vm,
+                    cores: 1,
+                    waited_tu: 0.1,
+                    busy_tu: 1.0,
+                },
+            );
+        }
+        // Reshape does not change the tier, but a later hire of a new VM id does.
+        store
+            .ingest(t(2.5), &TraceEvent::VmReshaped { vm: 1, tier: 0, cores_from: 2, cores_to: 4 });
+        let table = store.table(EventKind::SubtaskDispatched);
+        let tier = table.column("tier").expect("derived tier column");
+        match tier {
+            Column::Dict { codes, dict } => {
+                let labels: Vec<&str> = codes.iter().map(|&c| dict.label(c)).collect();
+                assert_eq!(labels, ["public", "private", "public"]);
+            }
+            _ => unreachable!("tier is declared as a dict column"),
+        }
+    }
+
+    #[test]
+    fn unknown_vm_dispatches_label_unknown() {
+        let mut store = TraceStore::new();
+        store.ingest(
+            t(1.0),
+            &TraceEvent::SubtaskDispatched {
+                job: 0,
+                stage: 0,
+                vm: 42,
+                cores: 1,
+                waited_tu: 0.0,
+                busy_tu: 1.0,
+            },
+        );
+        let table = store.table(EventKind::SubtaskDispatched);
+        match table.column("tier").expect("derived tier column") {
+            Column::Dict { codes, dict } => assert_eq!(dict.label(codes[0]), UNKNOWN_TIER),
+            _ => unreachable!("tier is declared as a dict column"),
+        }
+    }
+
+    #[test]
+    fn admission_rows_use_the_event_tenant() {
+        let mut store = TraceStore::for_tenant(7);
+        store.ingest(t(1.0), &TraceEvent::AdmissionDeferred { tenant: 3, jobs: 2, backlog: 2 });
+        store.ingest(t(2.0), &TraceEvent::QueueDepthSampled { depth: 1 });
+        assert_eq!(store.table(EventKind::AdmissionDeferred).tenant(), [3]);
+        assert_eq!(store.table(EventKind::QueueDepth).tenant(), [7]);
+    }
+
+    #[test]
+    fn merge_concatenates_and_remaps() {
+        let mut a = TraceStore::new();
+        a.ingest(t(1.0), &TraceEvent::VmHired { vm: 0, tier: 0, cores: 2 });
+        let mut b = TraceStore::for_tenant(1);
+        b.ingest(t(1.5), &TraceEvent::VmHired { vm: 0, tier: 1, cores: 4 });
+        b.ingest(
+            t(2.0),
+            &TraceEvent::ScalingDecision {
+                stage: 0,
+                cores: 2,
+                queued_jobs: 1,
+                delay_cost: 1.0,
+                hire_cost: 2.0,
+                choice: ScalingChoice::Wait,
+            },
+        );
+        a.merge(b);
+        assert_eq!(a.events(), 3);
+        assert!(a.check_invariants());
+        let hired = a.table(EventKind::VmHired);
+        assert_eq!(hired.rows(), 2);
+        assert_eq!(hired.tenant(), [0, 1]);
+        match hired.column("tier").expect("declared column") {
+            Column::Dict { codes, dict } => {
+                assert_eq!(dict.labels(), ["private", "public"]);
+                assert_eq!(codes, &[0, 1]);
+            }
+            _ => unreachable!("tier is declared as a dict column"),
+        }
+    }
+
+    #[test]
+    fn factory_stamps_tenant_ordinals() {
+        let f = TraceStoreFactory::fleet(3);
+        assert_eq!(ObserverFactory::build(&f, 0).tenant, 0);
+        assert_eq!(ObserverFactory::build(&f, 5).tenant, 2);
+        assert_eq!(TraceStoreFactory::solo().build(17).tenant, 0);
+    }
+}

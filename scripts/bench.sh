@@ -30,7 +30,7 @@ done
 
 benches=(session)
 if [[ "$quick" == 0 ]]; then
-    benches+=(dispatch hiring metrics lint fleet)
+    benches+=(dispatch hiring metrics lint fleet tracestore)
 fi
 
 raw="$(mktemp)"
@@ -40,10 +40,26 @@ for b in "${benches[@]}"; do
     cargo bench -p scan-bench --bench "$b" 2>/dev/null | tee -a "$raw" >&2
 done
 
-python3 - "$raw" "$label" "$out" <<'PY'
+# Export footprint on real artefacts: the medium fig4 cell written as
+# JSONL and as an SCTS store (docs/TRACESTORE.md "Export format"). The
+# ≥5x size criterion of PR7 is measured and ledgered here.
+jsonl_bytes=0; scts_bytes=0
+if [[ "$quick" == 0 ]]; then
+    echo "==> export footprint (medium fig4 cell: JSONL vs SCTS)" >&2
+    tj="$(mktemp)"; ts="$(mktemp)"
+    SCAN_HORIZON=300 SCAN_REPS=1 cargo run -q --release -p scan-bench --bin fig4 -- \
+        --quick --trace "$tj" --store "$ts" >/dev/null
+    jsonl_bytes="$(wc -c < "$tj")"
+    scts_bytes="$(wc -c < "$ts")"
+    rm -f "$tj" "$ts"
+    echo "    jsonl ${jsonl_bytes} B, scts ${scts_bytes} B" >&2
+fi
+
+python3 - "$raw" "$label" "$out" "$jsonl_bytes" "$scts_bytes" <<'PY'
 import json, re, subprocess, sys
 
 raw_path, label, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+jsonl_bytes, scts_bytes = int(sys.argv[4]), int(sys.argv[5])
 
 UNIT = {"ns": 1e-9, "µs": 1e-6, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 LINE = re.compile(
@@ -83,6 +99,12 @@ commit = subprocess.run(
 ).stdout.strip() or "unknown"
 
 run = {"commit": commit, "results": results}
+if scts_bytes:
+    run["export_size"] = {
+        "fig4_jsonl_bytes": jsonl_bytes,
+        "fig4_scts_bytes": scts_bytes,
+        "jsonl_over_scts": round(jsonl_bytes / scts_bytes, 2),
+    }
 
 if out_path:
     try:

@@ -32,21 +32,37 @@ echo "==> metrics determinism (parallel merge == sequential fold)"
 cargo test -q -p scan-platform instrument::tests::merged_export_is_identical_to_sequential_fold
 
 if [[ "$quick" != "quick" ]]; then
-    echo "==> trace determinism (two fixed-seed runs, byte-identical traces)"
-    t1="$(mktemp)"; t2="$(mktemp)"
-    trap 'rm -f "$t1" "$t2"' EXIT
+    echo "==> store determinism (two fixed-seed runs, identical SCTS digest)"
+    # The columnar store's 8-byte digest replaces the old multi-megabyte
+    # JSONL double-run compare as the fixed-seed determinism gate; the
+    # byte-level cmp backstops the digest against collisions.
+    s1="$(mktemp)"; s2="$(mktemp)"; o1="$(mktemp)"; o2="$(mktemp)"
+    trap 'rm -f "$s1" "$s2" "$o1" "$o2"' EXIT
     SCAN_HORIZON=300 SCAN_REPS=1 cargo run -q --release -p scan-bench --bin fig4 -- \
-        --quick --trace "$t1" >/dev/null
+        --quick --store "$s1" > "$o1"
     SCAN_HORIZON=300 SCAN_REPS=1 cargo run -q --release -p scan-bench --bin fig4 -- \
-        --quick --trace "$t2" >/dev/null
-    cmp "$t1" "$t2" || { echo "FAIL: fixed-seed trace differs between runs" >&2; exit 1; }
+        --quick --store "$s2" > "$o2"
+    d1="$(sed -n 's/.*digest \([0-9a-f]*\).*/\1/p' "$o1")"
+    d2="$(sed -n 's/.*digest \([0-9a-f]*\).*/\1/p' "$o2")"
+    [[ -n "$d1" && "$d1" == "$d2" ]] || {
+        echo "FAIL: fixed-seed store digest differs between runs ($d1 vs $d2)" >&2; exit 1; }
+    cmp "$s1" "$s2" || { echo "FAIL: fixed-seed store export differs between runs" >&2; exit 1; }
 
-    echo "==> fleet determinism (1 vs 8 rayon threads, byte-identical stdout)"
-    f1="$(mktemp)"; f2="$(mktemp)"
-    trap 'rm -f "$t1" "$t2" "$f1" "$f2"' EXIT
-    RAYON_NUM_THREADS=1 cargo run -q --release -p scan-bench --bin fleet -- --quick > "$f1"
-    RAYON_NUM_THREADS=8 cargo run -q --release -p scan-bench --bin fleet -- --quick > "$f2"
-    cmp "$f1" "$f2" || { echo "FAIL: fleet result depends on rayon thread count" >&2; exit 1; }
+    echo "==> store/JSONL cross-check (the one retained JSONL gate)"
+    cargo test -q --test tracestore_fleet store_agrees_with_the_jsonl_sink
+
+    echo "==> fleet determinism (1 vs 8 rayon threads: stdout + merged store)"
+    f1="$(mktemp)"; f2="$(mktemp)"; fs1="$(mktemp)"; fs2="$(mktemp)"
+    trap 'rm -f "$s1" "$s2" "$o1" "$o2" "$f1" "$f2" "$fs1" "$fs2"' EXIT
+    RAYON_NUM_THREADS=1 cargo run -q --release -p scan-bench --bin fleet -- \
+        --quick --store "$fs1" > "$f1"
+    RAYON_NUM_THREADS=8 cargo run -q --release -p scan-bench --bin fleet -- \
+        --quick --store "$fs2" > "$f2"
+    # The `store: wrote <path>` lines carry the differing temp paths.
+    diff <(grep -v '^store:' "$f1") <(grep -v '^store:' "$f2") \
+        || { echo "FAIL: fleet result depends on rayon thread count" >&2; exit 1; }
+    cmp "$fs1" "$fs2" \
+        || { echo "FAIL: merged fleet store depends on rayon thread count" >&2; exit 1; }
 fi
 
 echo "==> metrics overhead bench (run-gate: disabled hot path must execute)"

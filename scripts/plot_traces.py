@@ -1,9 +1,15 @@
 #!/usr/bin/env python3
-"""Trace-driven figures: turn the simulator's JSONL surfaces into SVG.
+"""Trace-driven figures: turn the simulator's trace surfaces into SVG.
 
-Stdlib-only (json + string formatting — no matplotlib), so it runs in the
-offline container. Three inputs, three figures (emit any subset):
+Stdlib-only (json + struct + string formatting — no matplotlib), so it
+runs in the offline container. Four inputs, three figures (emit any
+subset):
 
+  --store store.scts         columnar SCTS store (fig4/fig5/sweep/fleet
+                             binaries, `--store <path>`; see
+                             docs/TRACESTORE.md): same session figure as
+                             --trace, decoded from the compact binary
+                             export instead of JSONL.
   --trace trace.jsonl        per-event session stream (fig4/fig5/sweep
                              binaries, `--trace <path>`): queue depth over
                              time (step line) + cumulative VM hires per
@@ -16,22 +22,23 @@ offline container. Three inputs, three figures (emit any subset):
                              utilisation, per-tier spend rate, mean queue
                              depth — as three panels over sim time.
 
-  python3 scripts/plot_traces.py --trace /tmp/trace.jsonl \
+  python3 scripts/plot_traces.py --store /tmp/fig4.scts \
       --cell-trace /tmp/cells.jsonl --metrics /tmp/out.jsonl --out-dir plots/
 
 writes plots/session.svg, plots/decisions.svg and plots/metrics.svg. Field
-meanings are documented in docs/TRACE_SCHEMA.md and docs/METRICS.md;
-regenerate the inputs with
+meanings are documented in docs/TRACE_SCHEMA.md, docs/TRACESTORE.md and
+docs/METRICS.md; regenerate the inputs with
 
   cargo run --release -p scan-bench --bin sweep -- \
       --trace /tmp/trace.jsonl --cell-trace /tmp/cells.jsonl
   cargo run --release -p scan-bench --bin fig4 -- --quick \
-      --metrics /tmp/out.jsonl
+      --store /tmp/fig4.scts --metrics /tmp/out.jsonl
 """
 
 import argparse
 import json
 import os
+import struct
 import sys
 
 # ----------------------------------------------------------------------
@@ -103,16 +110,117 @@ def fmt(v):
 
 
 # ----------------------------------------------------------------------
+# SCTS store reader (docs/TRACESTORE.md "Export format (SCTS v1)")
+# ----------------------------------------------------------------------
+
+SCTS_MAGIC = b"SCTS"
+SCTS_VERSION = 1
+# Declared columns per table, in table order. Mirrors EventKind::columns
+# in crates/tracestore/src/schema.rs (which scan-lint's store-doc-drift
+# rule pins against docs/TRACESTORE.md). u = varint int, f = raw f64 LE,
+# d = dictionary-encoded label.
+SCTS_SCHEMA = [
+    ("job_arrived", [("job", "u"), ("size_units", "f")]),
+    ("job_stage_advanced",
+     [("job", "u"), ("stage", "u"), ("shards", "u"), ("cores", "u")]),
+    ("job_completed",
+     [("job", "u"), ("latency_tu", "f"), ("reward", "f"), ("core_stages", "f")]),
+    ("subtask_dispatched",
+     [("job", "u"), ("stage", "u"), ("vm", "u"), ("cores", "u"),
+      ("waited_tu", "f"), ("busy_tu", "f"), ("tier", "d")]),
+    ("subtask_done", [("job", "u"), ("stage", "u"), ("vm", "u")]),
+    ("vm_hired", [("vm", "u"), ("tier", "d"), ("cores", "u")]),
+    ("vm_booted", [("vm", "u"), ("cores", "u")]),
+    ("vm_reshaped",
+     [("vm", "u"), ("tier", "d"), ("cores_from", "u"), ("cores_to", "u")]),
+    ("vm_released", [("vm", "u"), ("tier", "d"), ("cores", "u")]),
+    ("scaling_decision",
+     [("stage", "u"), ("cores", "u"), ("queued_jobs", "u"),
+      ("delay_cost", "f"), ("hire_cost", "f"), ("choice", "d")]),
+    ("queue_depth", [("depth", "u")]),
+    ("admission_deferred", [("jobs", "u"), ("backlog", "u")]),
+    ("admission_resumed", [("jobs", "u"), ("backlog", "u")]),
+    ("tier_settled", [("tier", "d"), ("cost", "f"), ("core_tu", "f")]),
+    ("run_ended", [("events_dispatched", "u")]),
+]
+
+
+def _fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def read_scts(path):
+    """Decode an SCTS v1 store into {tag: {column: list}}, with the
+    implicit `t` (f64 TU) and `tenant` columns materialised and dict
+    columns decoded straight to their labels. Verifies the digest."""
+    data = open(path, "rb").read()
+    if len(data) < 16 or data[:4] != SCTS_MAGIC:
+        raise ValueError(f"{path}: not an SCTS export")
+    payload, trailer = data[:-8], data[-8:]
+    if _fnv1a64(payload) != struct.unpack("<Q", trailer)[0]:
+        raise ValueError(f"{path}: SCTS digest mismatch")
+    version = struct.unpack("<I", payload[4:8])[0]
+    if version != SCTS_VERSION:
+        raise ValueError(f"{path}: unsupported SCTS version {version}")
+
+    pos = 8
+
+    def varint():
+        nonlocal pos
+        v = shift = 0
+        while True:
+            b = payload[pos]
+            pos += 1
+            v |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return v
+            shift += 7
+
+    tables = {}
+    for tag, spec in SCTS_SCHEMA:
+        rows = varint()
+        table = {name: [] for name in ["t", "tenant"] + [n for n, _ in spec]}
+        tables[tag] = table
+        if rows == 0:
+            continue
+        bits = 0
+        for _ in range(rows):
+            bits = (bits + varint()) & 0xFFFFFFFFFFFFFFFF
+            table["t"].append(struct.unpack("<d", struct.pack("<Q", bits))[0])
+        table["tenant"] = [varint() for _ in range(rows)]
+        for name, ty in spec:
+            if ty == "u":
+                table[name] = [varint() for _ in range(rows)]
+            elif ty == "f":
+                table[name] = list(struct.unpack(f"<{rows}d", payload[pos:pos + 8 * rows]))
+                pos += 8 * rows
+            else:  # dict: label table, then one code per row
+                labels = []
+                for _ in range(varint()):
+                    n = varint()
+                    labels.append(payload[pos:pos + n].decode("utf-8"))
+                    pos += n
+                table[name] = [labels[varint()] for _ in range(rows)]
+    if pos != len(payload):
+        raise ValueError(f"{path}: trailing bytes in SCTS payload")
+    return tables
+
+
+# ----------------------------------------------------------------------
 # Figure 1: session timeline (queue depth + cumulative hires per tier)
 # ----------------------------------------------------------------------
 
 TIER_NAMES = {0: "private", 1: "public"}
-TIER_COLORS = {0: "#1f77b4", 1: "#d62728"}
+TIER_COLORS = {"private": "#1f77b4", "public": "#d62728"}
 
 
-def plot_session(trace_path, out_path):
-    depth, hires = [], {}  # [(t, depth)], tier -> [(t, cumulative)]
-    with open(trace_path) as f:
+def session_series_from_jsonl(path):
+    """depth [(t, depth)] and label-keyed cumulative hires from JSONL."""
+    depth, hires = [], {}
+    with open(path) as f:
         for line in f:
             line = line.strip()
             if not line:
@@ -122,10 +230,28 @@ def plot_session(trace_path, out_path):
             if kind == "queue_depth":
                 depth.append((e["t"], e["depth"]))
             elif kind == "vm_hired":
-                series = hires.setdefault(e["tier"], [])
+                label = TIER_NAMES.get(e["tier"], f"tier {e['tier']}")
+                series = hires.setdefault(label, [])
                 series.append((e["t"], (series[-1][1] if series else 0) + 1))
+    return depth, hires
+
+
+def session_series_from_store(path):
+    """Same series as `session_series_from_jsonl`, from an SCTS store
+    (the store's `vm_hired.tier` column already carries labels)."""
+    tables = read_scts(path)
+    qd = tables["queue_depth"]
+    depth = list(zip(qd["t"], qd["depth"]))
+    hires = {}
+    for t, label in zip(tables["vm_hired"]["t"], tables["vm_hired"]["tier"]):
+        series = hires.setdefault(label, [])
+        series.append((t, (series[-1][1] if series else 0) + 1))
+    return depth, hires
+
+
+def plot_session(depth, hires, source, out_path):
     if not depth and not hires:
-        print(f"no queue_depth/vm_hired events in {trace_path}", file=sys.stderr)
+        print(f"no queue_depth/vm_hired events in {source}", file=sys.stderr)
         return False
 
     W, H, ML, MR, MT, GAP = 860, 460, 62, 18, 30, 46
@@ -137,7 +263,7 @@ def plot_session(trace_path, out_path):
     sx = lambda t: ML + (W - ML - MR) * t / t_max
 
     svg = Svg(W, H)
-    svg.text(ML, 18, f"Session timeline — {os.path.basename(trace_path)}", size=13)
+    svg.text(ML, 18, f"Session timeline — {os.path.basename(source)}", size=13)
 
     # Panel 1: queue depth (step line over event-driven samples).
     top1 = MT + 8
@@ -171,8 +297,8 @@ def plot_session(trace_path, out_path):
     for tv in ticks(0, h_max):
         svg.line(ML, sy2(tv), W - MR, sy2(tv), "#eee")
         svg.text(ML - 6, sy2(tv) + 4, fmt(tv), size=10, anchor="end")
-    for tier in sorted(hires):
-        series = hires[tier]
+    for i, label in enumerate(sorted(hires)):
+        series = hires[label]
         cols = {}  # cumulative count is monotone: last value per pixel wins
         for t, n in series:
             cols[round(sx(t))] = n
@@ -182,11 +308,10 @@ def plot_session(trace_path, out_path):
             pts.append((px, sy2(cols[px])))
             last = cols[px]
         pts.append((sx(t_max), sy2(series[-1][1])))
-        color = TIER_COLORS.get(tier, "#555")
+        color = TIER_COLORS.get(label, "#555")
         svg.polyline(pts, color)
-        label = TIER_NAMES.get(tier, f"tier {tier}")
         svg.text(
-            ML + 150 * tier, top2 - 4,
+            ML + 150 * i, top2 - 4,
             f"{label}: {series[-1][1]} hires", size=11, color=color,
         )
     if not hires:
@@ -352,17 +477,25 @@ def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
+    ap.add_argument("--store", help="columnar SCTS store (binaries' --store)")
     ap.add_argument("--trace", help="per-event session JSONL (binaries' --trace)")
     ap.add_argument("--cell-trace", help="per-cell sweep JSONL (sweep --cell-trace)")
     ap.add_argument("--metrics", help="metrics-registry JSONL (binaries' --metrics)")
     ap.add_argument("--out-dir", default=".", help="directory for the SVGs")
     args = ap.parse_args()
-    if not args.trace and not args.cell_trace and not args.metrics:
-        ap.error("give --trace, --cell-trace and/or --metrics")
+    if not args.store and not args.trace and not args.cell_trace and not args.metrics:
+        ap.error("give --store, --trace, --cell-trace and/or --metrics")
+    if args.store and args.trace:
+        ap.error("--store and --trace both feed the session figure; give one")
     os.makedirs(args.out_dir, exist_ok=True)
     ok = True
-    if args.trace:
-        ok &= plot_session(args.trace, os.path.join(args.out_dir, "session.svg"))
+    if args.store or args.trace:
+        if args.store:
+            depth, hires = session_series_from_store(args.store)
+        else:
+            depth, hires = session_series_from_jsonl(args.trace)
+        ok &= plot_session(depth, hires, args.store or args.trace,
+                           os.path.join(args.out_dir, "session.svg"))
     if args.cell_trace:
         ok &= plot_decisions(
             args.cell_trace, os.path.join(args.out_dir, "decisions.svg")

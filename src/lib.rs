@@ -32,3 +32,6 @@ pub use scan_sched as sched;
 
 /// The SCAN platform facade: broker + scheduler + workers + sessions.
 pub use scan_platform as platform;
+
+/// Columnar in-process trace store: ingest, aggregation queries, export.
+pub use scan_tracestore as tracestore;
