@@ -1,11 +1,12 @@
-//! `platform::hiring` hot path: one priced scaling decision — filling
-//! the Eq. 1 queue view from a stalled class (distinct-job dedup + per-
-//! job ETT estimates into the reused scratch buffer), gathering the
-//! scalar inputs (projected-wait scan over the busy set), and running
-//! `ScalingPolicy::decide_priced`.
+//! `platform::hiring` hot path: one priced scaling decision — building
+//! the Eq. 1 pricer from the per-class aggregates (two window lookups +
+//! a cached sum), gathering the scalar inputs (projected-wait scan over
+//! the busy set), and running `ScalingPolicy::decide_priced`.
 //!
-//! The queue-view fill is the O(min(queue, 256)) part and the busy-set
-//! scan the O(busy) part, so both axes are swept.
+//! The decision should now be flat in queue depth (the old full-walk
+//! view was O(min(queue, 256))), so the backlog axis sweeps past the
+//! window cap; the busy-set scan stays the O(busy) part. The aggregate
+//! maintenance every enqueue/dequeue pair pays is benched separately.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use scan_platform::platform::bench_support::PlatformHarness;
@@ -13,9 +14,10 @@ use scan_platform::platform::bench_support::PlatformHarness;
 fn bench_hiring(c: &mut Criterion) {
     let mut group = c.benchmark_group("hiring");
 
-    // Queue-view fill dominates: sweep the backlog depth (256 is the
-    // MAX_QUEUE_VIEW cap; 512 must cost the same as 256).
-    for &queued in &[4usize, 64, 256, 512] {
+    // Backlog-depth sweep across the 256-entry window cap: with the
+    // incremental aggregates every point should price in near-constant
+    // time (queued=512 within 1.2× of queued=4).
+    for &queued in &[4usize, 64, 256, 512, 1024] {
         group.bench_function(format!("decide/queued={queued}"), |b| {
             let mut h = PlatformHarness::new(0, 32, queued);
             b.iter(|| black_box(h.price_decision()))
@@ -29,6 +31,13 @@ fn bench_hiring(c: &mut Criterion) {
             b.iter(|| black_box(h.price_decision()))
         });
     }
+
+    // What keeping Eq. 1 incremental costs the dispatch path: one
+    // pop + re-enqueue round trip on the queue and its aggregate mirror.
+    group.bench_function("aggregate/enqueue_dequeue", |b| {
+        let mut h = PlatformHarness::new(0, 8, 256);
+        b.iter(|| black_box(h.queue_maintenance_cycle()))
+    });
 
     group.finish();
 }

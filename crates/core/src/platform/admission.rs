@@ -166,10 +166,12 @@ impl Platform {
         let (shards, threads) = run.plan.stage(run.stage);
         run.outstanding = shards;
         let stage = run.stage;
+        let (d, submitted) = (run.job.size_units, run.job.submitted_at);
         let class = TaskClass { stage, cores: threads };
         for _ in 0..shards {
             self.queues.push(class, SubtaskRef { job: id }, now);
         }
+        self.queue_agg.on_enqueue(class, id.0, d, submitted, shards);
         self.tracer.emit(
             now,
             TraceEvent::JobStageAdvanced {

@@ -1,8 +1,8 @@
 //! Bench-only harness over the platform's dispatch and hiring hot paths.
 //!
 //! The criterion benches in `crates/bench` need to time `take_idle` /
-//! `assign` (the dispatch inner loop) and `fill_queue_view` + the priced
-//! scaling decision (the hiring path) *in isolation*, on a platform
+//! `assign` (the dispatch inner loop) and the aggregate-priced scaling
+//! decision (the hiring path) *in isolation*, on a platform
 //! frozen mid-run — but those methods and the fields they touch are
 //! platform-internal by design. This module is the narrow, `doc(hidden)`
 //! window the benches go through: it builds a mid-run state (idle pool,
@@ -77,10 +77,12 @@ impl PlatformHarness {
             // arena is sized by the highest id.
             let id = JobId(i as u32);
             let job = Job::new(id, 5.0, SimTime::ZERO);
+            let (d, submitted) = (job.size_units, job.submitted_at);
             // One 4-core shard per stage — shaped like `class` at stage 0.
             let plan = ExecutionPlan::new(vec![(1, CORES); n_stages]);
             p.jobs.insert(id.slot(), JobRun { job, plan, stage: 0, outstanding: 1 });
             p.queues.push(class, SubtaskRef { job: id }, SimTime::ZERO);
+            p.queue_agg.on_enqueue(class, id.0, d, submitted, 1);
         }
 
         PlatformHarness { platform: p, cal: Calendar::new(), now, class }
@@ -108,30 +110,44 @@ impl PlatformHarness {
             .expect("harness keeps queued jobs");
         let vm = self.platform.take_idle(CORES).expect("idle worker");
         self.platform.assign(self.class, vm, self.now, &mut self.cal);
-        // Undo: the assign popped `head`, scheduled one SubtaskDone and
-        // marked the worker busy. All harness jobs are identical, so
-        // re-queueing the popped subtask at the tail restores an
-        // equivalent state.
+        // Undo: the assign popped `head` (queue and aggregate mirror),
+        // scheduled one SubtaskDone and marked the worker busy. All
+        // harness jobs are identical, so re-queueing the popped subtask
+        // at the tail restores an equivalent state.
         self.cal.clear();
         self.platform.busy.remove(vm);
         let worker = self.platform.provider.vm_mut(vm).expect("assigned VM");
         worker.finish_task(self.now);
         self.platform.idle.insert(CORES, vm);
+        let run = self.platform.jobs.get(head.slot()).expect("queued job is live");
+        let (d, submitted) = (run.job.size_units, run.job.submitted_at);
         self.platform.queues.push(self.class, SubtaskRef { job: head }, self.now);
+        self.platform.queue_agg.on_enqueue(self.class, head.0, d, submitted, 1);
         vm.0 as u64
     }
 
-    /// One hiring-path pricing pass: fills the Eq. 1 queue view from the
-    /// stalled class, gathers the scalar inputs, and runs the priced
-    /// decision. Mutates nothing but the platform's scratch buffers.
-    /// Returns the number of queued jobs the view saw (black-box fodder).
+    /// One hiring-path pricing pass: revalidates the Eq. 1 window if the
+    /// reward needs ETTs, gathers the scalar inputs, builds the aggregate
+    /// pricer over the stalled class and runs the priced decision —
+    /// exactly what `try_grow` pays per decision in a release build.
+    /// Returns the number of jobs in the priced window (black-box fodder).
     pub fn price_decision(&mut self) -> usize {
         let p = &mut self.platform;
-        p.fill_queue_view(self.class, 0, self.now);
+        if p.reward.depends_on_ett() {
+            let Platform { queue_agg, estimator, jobs, .. } = p;
+            let revision = estimator.revision();
+            queue_agg.revalidate_window(self.class, 0, Platform::MAX_QUEUE_VIEW, revision, |job| {
+                let run = jobs.get(job as usize).expect("queued job is live");
+                estimator.remaining(&run.job, run.stage, &run.plan.stages)
+            });
+        }
         let inputs = p.scaling_inputs(self.class, self.now);
+        let eq1 = p.queue_agg.pricer(self.class, 0, Platform::MAX_QUEUE_VIEW, self.now);
+        let window = eq1.window_len();
         let ctx = ScalingContext {
             private_has_capacity: inputs.private_has_capacity,
-            queued: &p.scaling_scratch,
+            eq1,
+            queue_depth: p.queue_agg.entries(self.class) as u32,
             expected_wait_tu: inputs.expected_wait_tu,
             public_price_per_core_tu: p.cfg.variable.public_core_cost,
             stage: self.class.stage as u32,
@@ -141,6 +157,22 @@ impl PlatformHarness {
             reward: p.reward,
         };
         let (_decision, _costs) = p.cfg.variable.scaling.decide_priced(&ctx);
-        ctx.queued.len()
+        window
+    }
+
+    /// One aggregate-maintenance round trip: pops the class head (queue
+    /// and aggregate mirror together) and re-enqueues it at the tail —
+    /// the exact bookkeeping every real dequeue/enqueue pair pays to keep
+    /// Eq. 1 incremental. Returns the queue length (black-box fodder).
+    pub fn queue_maintenance_cycle(&mut self) -> usize {
+        let p = &mut self.platform;
+        let (subtask, _wait) =
+            p.queues.pop(self.class, self.now).expect("harness keeps queued jobs");
+        p.queue_agg.on_pop(self.class);
+        let run = p.jobs.get(subtask.job.slot()).expect("queued job is live");
+        let (d, submitted) = (run.job.size_units, run.job.submitted_at);
+        p.queues.push(self.class, subtask, self.now);
+        p.queue_agg.on_enqueue(self.class, subtask.job.0, d, submitted, 1);
+        p.queues.get(self.class).map(|q| q.len()).unwrap_or(0)
     }
 }

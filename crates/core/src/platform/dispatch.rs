@@ -110,6 +110,7 @@ impl Platform {
         prof::scope!("assign");
         let (subtask, wait) =
             self.queues.pop(class, now).expect("assign called with non-empty queue");
+        self.queue_agg.on_pop(class);
         self.estimator.queue_times_mut().observe(class.stage, wait.as_tu());
         if let Some(mm) = &self.meters {
             mm.metrics.record(mm.queue_wait[class.stage], wait.as_tu());

@@ -1,6 +1,8 @@
 //! Capacity growth for stalled classes: the horizontal-scaling decision
-//! (Table I) with its Eq. 1 queue view, the private-hire throttle, and
-//! reshape-instead-of-hire for heterogeneous configurations.
+//! (Table I) priced from the incremental Eq. 1 aggregates, the
+//! private-hire throttle, and reshape-instead-of-hire for heterogeneous
+//! configurations. The naive full-walk queue view survives as the
+//! debug-build oracle cross-checking the aggregates.
 
 use super::events::{Event, EventSink};
 use super::meters::ChoiceMeter;
@@ -13,7 +15,7 @@ use scan_sched::scaling::{ScalingContext, ScalingDecision};
 use scan_sim::{prof, ScalingChoice, SimTime, TraceEvent};
 
 /// The scalar inputs of one scaling decision (everything except the
-/// queue view, which lives in the platform's scratch buffer).
+/// Eq. 1 pricer, which borrows the platform's per-class aggregates).
 #[derive(Debug, Clone, Copy)]
 pub(super) struct ScalingInputs {
     pub(super) private_has_capacity: bool,
@@ -22,10 +24,11 @@ pub(super) struct ScalingInputs {
 }
 
 impl Platform {
-    /// Cap on the Eq. 1 queue view: past a few hundred distinct jobs the
-    /// delay cost dwarfs any hire cost, so enumerating a saturated queue
-    /// in full would be pure O(n) waste on every dispatch.
-    const MAX_QUEUE_VIEW: usize = 256;
+    /// Cap on the Eq. 1 queue view, in queue *entries*: past a few
+    /// hundred the delay cost dwarfs any hire cost, so pricing a deeper
+    /// window buys nothing. The incremental aggregates and the debug
+    /// oracle's full walk both honour the same entry window.
+    pub(super) const MAX_QUEUE_VIEW: usize = 256;
 
     /// Attempts one capacity-growth action (reshape or hire) for a stalled
     /// class. Returns false when the policy says wait (or nothing can be
@@ -53,6 +56,7 @@ impl Platform {
                         // idle pool so nothing assigns to it meanwhile.
                         let removed = self.idle.remove(old_cores, vm_id);
                         debug_assert!(removed, "reshaped VM was idle");
+                        self.booting.inc(class.cores);
                         self.pending.increment(class.stage, class.cores);
                         self.vm_reserved_for.insert(vm_id.slot(), class);
                         // Narrate the decision after the action (whether a
@@ -84,11 +88,28 @@ impl Platform {
         // The first `pending` queued items are already covered by hires
         // in flight; the marginal decision looks only at the remainder.
         let covered = self.pending.get(class.stage, class.cores) as usize;
-        self.fill_queue_view(class, covered, now);
         let inputs = self.scaling_inputs(class, now);
+        if self.reward.depends_on_ett() {
+            // Lazy revalidation: refresh the cached future-stage terms in
+            // the priced window iff the estimator changed since they were
+            // computed. Stage advances are structural (a new stage is a
+            // new class, hence fresh terms), so only `observe` and
+            // `set_model` can stale a term — between estimator changes
+            // this loop matches revisions and touches nothing.
+            let Platform { queue_agg, estimator, jobs, .. } = self;
+            let revision = estimator.revision();
+            queue_agg.revalidate_window(class, covered, Self::MAX_QUEUE_VIEW, revision, |job| {
+                let run = jobs.get(job as usize).expect("queued job is live");
+                estimator.remaining(&run.job, run.stage, &run.plan.stages)
+            });
+        }
+        if cfg!(debug_assertions) {
+            self.check_eq1_oracle(class, covered, inputs.expected_wait_tu, now);
+        }
         let ctx = ScalingContext {
             private_has_capacity: inputs.private_has_capacity,
-            queued: &self.scaling_scratch,
+            eq1: self.queue_agg.pricer(class, covered, Self::MAX_QUEUE_VIEW, now),
+            queue_depth: self.queue_agg.entries(class) as u32,
             expected_wait_tu: inputs.expected_wait_tu,
             // The provider's live quote: the catalogue price solo, the
             // contention-surged on-demand price under a fleet lease — so
@@ -112,7 +133,7 @@ impl Platform {
                 // differ in the *public* hire decision.
                 if self.cfg.fixed.private_hire_throttle {
                     let avoided = (ctx.expected_wait_tu - ctx.boot_penalty_tu).max(0.0);
-                    let dc = delay_cost(&self.reward, ctx.queued, avoided);
+                    let dc = ctx.eq1.delay_cost(&self.reward, avoided);
                     let hire_cost = self.cfg.fixed.private_core_cost
                         * class.cores as f64
                         * (ctx.boot_penalty_tu + ctx.expected_task_tu);
@@ -124,7 +145,7 @@ impl Platform {
                             TraceEvent::ScalingDecision {
                                 stage: class.stage as u32,
                                 cores: class.cores,
-                                queued_jobs: ctx.queued.len() as u32,
+                                queued_jobs: ctx.queue_depth,
                                 delay_cost: dc,
                                 hire_cost,
                                 choice: ScalingChoice::ThrottledPrivate,
@@ -169,12 +190,56 @@ impl Platform {
         };
         match self.provider.hire_on(tier, size, now) {
             Ok((vm_id, ready_at)) => {
+                self.booting.inc(class.cores);
                 self.pending.increment(class.stage, class.cores);
                 self.vm_reserved_for.insert(vm_id.slot(), class);
                 sink.schedule(ready_at, Event::VmReady(vm_id));
                 true
             }
             Err(_) => false,
+        }
+    }
+
+    /// Debug-build oracle: reprices Eq. 1 with the naive full-walk queue
+    /// view and asserts the incremental aggregates agree — bit-for-bit
+    /// for ETT-dependent rewards (same terms, same fold order), to 1e-9
+    /// relative for the time-based closed form (`Σd · rpenalty · delay`
+    /// sums `d` in a different order than the fused walk). Also
+    /// cross-checks the mirrored window and entry counts. Called from
+    /// [`Platform::try_grow`] under `cfg!(debug_assertions)` only, so
+    /// release builds keep the O(log n) path alone.
+    fn check_eq1_oracle(
+        &mut self,
+        class: TaskClass,
+        covered: usize,
+        expected_wait_tu: f64,
+        now: SimTime,
+    ) {
+        self.fill_queue_view(class, covered, now);
+        let pricer = self.queue_agg.pricer(class, covered, Self::MAX_QUEUE_VIEW, now);
+        debug_assert_eq!(
+            pricer.window_len(),
+            self.scaling_scratch.len(),
+            "aggregate window mirrors the deduped queue view"
+        );
+        debug_assert_eq!(
+            self.queue_agg.entries(class),
+            self.queues.get(class).map(|q| q.len()).unwrap_or(0),
+            "aggregate entry count mirrors the live queue"
+        );
+        let avoided = (expected_wait_tu - boot_penalty().as_tu()).max(0.0);
+        let walk = delay_cost(&self.reward, &self.scaling_scratch, avoided);
+        let fast = pricer.delay_cost(&self.reward, avoided);
+        if self.reward.depends_on_ett() {
+            debug_assert!(
+                fast.to_bits() == walk.to_bits(),
+                "incremental Eq. 1 drifted from the walk: fast={fast:e} walk={walk:e}"
+            );
+        } else {
+            debug_assert!(
+                (fast - walk).abs() <= 1e-9 * walk.abs().max(1.0),
+                "time-based Eq. 1 outside tolerance: fast={fast:e} walk={walk:e}"
+            );
         }
     }
 
@@ -218,12 +283,11 @@ impl Platform {
         // scan with no per-entry provider lookup.
         let mut expected_wait =
             self.busy.min_wait_for_cores(class.cores, now).unwrap_or(f64::INFINITY);
-        if expected_wait.is_infinite() {
-            for vm in self.provider.vms() {
-                if vm.is_booting() && vm.size.cores() == class.cores {
-                    expected_wait = expected_wait.min(boot_penalty().as_tu());
-                }
-            }
+        if expected_wait.is_infinite() && self.booting.get(class.cores) > 0 {
+            // A worker of this shape is already booting: the wait is one
+            // boot penalty. The per-shape counter replaces what used to be
+            // a scan over every live VM on each stalled decision.
+            expected_wait = boot_penalty().as_tu();
         }
         if expected_wait.is_infinite() {
             expected_wait = 50.0; // nothing of this shape exists: waiting is hopeless

@@ -18,6 +18,7 @@ impl Platform {
         let vm = self.provider.vm_mut(vm_id).expect("ready event for unknown VM");
         vm.finish_boot(now);
         let cores = vm.size.cores();
+        self.booting.dec(cores);
         self.tracer.emit(now, TraceEvent::VmBooted { vm: vm_id.0 as u64, cores });
         if self.finished() {
             // The tenant drained while this worker was booting: return it
@@ -149,7 +150,10 @@ impl Platform {
             let size = InstanceSize::new(cores).expect("plan shapes are instance sizes");
             for _ in live..(want as usize) {
                 match self.provider.hire_on(self.private_tier, size, now) {
-                    Ok((vm_id, ready_at)) => sink.schedule(ready_at, Event::VmReady(vm_id)),
+                    Ok((vm_id, ready_at)) => {
+                        self.booting.inc(cores);
+                        sink.schedule(ready_at, Event::VmReady(vm_id));
+                    }
                     Err(_) => break, // private tier full: pools stay short
                 }
             }

@@ -55,6 +55,7 @@ use scan_cloud::provider::CloudProvider;
 use scan_cloud::shared::SharedLease;
 use scan_cloud::tier::{BillingMode, Tier, TierCatalog, TierId};
 use scan_metrics::Metrics;
+use scan_sched::aggregate::QueueAggregates;
 use scan_sched::alloc::{AllocationPolicy, Allocator};
 use scan_sched::delay_cost::QueuedJobView;
 use scan_sched::estimate::EttEstimator;
@@ -68,7 +69,9 @@ use scan_sim::{
 use scan_workload::arrivals::ArrivalProcess;
 use scan_workload::gatk::PipelineModel;
 use scan_workload::reward::RewardFn;
-use state::{AdmissionBacklog, BusyTable, ClassCounts, IdlePools, SlotArena, StandingTargets};
+use state::{
+    AdmissionBacklog, BootingCounts, BusyTable, ClassCounts, IdlePools, SlotArena, StandingTargets,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -115,6 +118,15 @@ pub struct Platform {
     /// Hires/reshapes in flight per class, so a stalled queue does not
     /// hire one VM per dispatch pass.
     pending: ClassCounts,
+    /// VMs booting per shape, maintained on hire/reshape/`VmReady` —
+    /// the O(1) replacement for the all-VMs booting scan the scaling
+    /// inputs used to do.
+    booting: BootingCounts,
+    /// Incremental Eq. 1 state: per-class delay-cost aggregates
+    /// mirroring `queues` (updated on every push/pop), so scaling
+    /// decisions price the queue from cached terms instead of a
+    /// per-decision walk (DESIGN §7c).
+    queue_agg: QueueAggregates,
     /// Which class an in-flight hire/reshape is reserved for, keyed by
     /// VM id slot.
     vm_reserved_for: SlotArena<TaskClass>,
@@ -163,8 +175,10 @@ pub struct Platform {
     meters: Option<PlatformMeters>,
     /// Last sampled cumulative cost per tier, for the spend-rate series.
     last_tier_cost: [f64; 2],
-    /// Scratch for the Eq. 1 queue view, reused across scaling decisions
-    /// so the dispatch hot path allocates nothing per event (DESIGN §7).
+    /// Scratch for the naive Eq. 1 queue view. Since the incremental
+    /// aggregates took over pricing, the full-walk fill only runs as the
+    /// debug-build oracle cross-checking them (DESIGN §7c); it still
+    /// reuses this buffer so even the oracle allocates nothing per event.
     scaling_scratch: Vec<QueuedJobView>,
     /// Per-job stamps for the queue-view dedup: `scaling_seen[job] ==
     /// scaling_stamp` means "already counted this fill". Bumping the
@@ -277,6 +291,8 @@ impl Platform {
             idle: IdlePools::new(),
             busy: BusyTable::new(),
             pending: ClassCounts::new(),
+            booting: BootingCounts::new(),
+            queue_agg: QueueAggregates::new(),
             vm_reserved_for: SlotArena::new(),
             standing_target: StandingTargets::default(),
             exec_noise: hub.stream("exec-noise"),

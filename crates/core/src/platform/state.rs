@@ -174,6 +174,38 @@ impl ClassCounts {
     }
 }
 
+/// Per-shape count of VMs currently booting, maintained on hire /
+/// reshape / `VmReady` so the scaling decision's "is anything of this
+/// shape about to arrive?" probe is O(1) instead of a scan over every
+/// live VM the provider knows about.
+#[derive(Debug, Default)]
+pub(super) struct BootingCounts {
+    counts: [u32; N_SHAPES],
+}
+
+impl BootingCounts {
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// A VM of `cores` started booting (fresh hire or reshape).
+    pub(super) fn inc(&mut self, cores: u32) {
+        self.counts[shape_slot(cores)] += 1;
+    }
+
+    /// A VM of `cores` finished booting (its `VmReady` fired).
+    pub(super) fn dec(&mut self, cores: u32) {
+        let c = &mut self.counts[shape_slot(cores)];
+        debug_assert!(*c > 0, "boot completion without a tracked boot");
+        *c = c.saturating_sub(1);
+    }
+
+    /// VMs of `cores` currently booting.
+    pub(super) fn get(&self, cores: u32) -> u32 {
+        self.counts[shape_slot(cores)]
+    }
+}
+
 /// A dense append-mostly arena keyed by monotone u32 id slots (job
 /// runs, per-VM reservations). `None` = never inserted or removed; ids
 /// are never reused, so a freed slot stays `None` for the session.
@@ -347,6 +379,20 @@ mod tests {
         assert!(busy.remove(VmId(2)));
         let now = SimTime::ZERO;
         assert_eq!(busy.min_wait_for_cores(2, now), Some(21.0)); // VmId(1)
+    }
+
+    #[test]
+    fn booting_counts_round_trip() {
+        let mut booting = BootingCounts::new();
+        assert_eq!(booting.get(4), 0);
+        booting.inc(4);
+        booting.inc(4);
+        booting.inc(16);
+        assert_eq!(booting.get(4), 2);
+        assert_eq!(booting.get(16), 1);
+        assert_eq!(booting.get(1), 0);
+        booting.dec(4);
+        assert_eq!(booting.get(4), 1);
     }
 
     #[test]

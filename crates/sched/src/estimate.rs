@@ -21,6 +21,16 @@ pub struct QueueTimeTracker {
     ewma: Vec<f64>,
     alpha: f64,
     observations: Vec<u64>,
+    /// Bumped whenever the EWMA state changes, so cached future-stage
+    /// estimates (the incremental Eq. 1 aggregates) know when to
+    /// revalidate. Starts at 1: revision 0 is the "never computed"
+    /// sentinel on the cache side.
+    #[serde(default = "initial_revision")]
+    revision: u64,
+}
+
+fn initial_revision() -> u64 {
+    1
 }
 
 impl QueueTimeTracker {
@@ -28,7 +38,12 @@ impl QueueTimeTracker {
     /// `alpha` (weight of the newest observation).
     pub fn new(n_stages: usize, alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0);
-        QueueTimeTracker { ewma: vec![0.0; n_stages], alpha, observations: vec![0; n_stages] }
+        QueueTimeTracker {
+            ewma: vec![0.0; n_stages],
+            alpha,
+            observations: vec![0; n_stages],
+            revision: initial_revision(),
+        }
     }
 
     /// Records an observed queue wait for a stage.
@@ -41,6 +56,7 @@ impl QueueTimeTracker {
             *slot = self.alpha * wait_tu + (1.0 - self.alpha) * *slot;
         }
         self.observations[stage] += 1;
+        self.revision += 1;
     }
 
     /// Current `EQT_i` estimate (0 until first observation).
@@ -56,6 +72,16 @@ impl QueueTimeTracker {
     /// Observations recorded for a stage.
     pub fn observations(&self, stage: usize) -> u64 {
         self.observations[stage]
+    }
+
+    /// Current revision: changes iff a future-stage estimate computed
+    /// from this tracker's EWMAs could have changed.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn bump_revision(&mut self) {
+        self.revision += 1;
     }
 }
 
@@ -78,10 +104,13 @@ impl EttEstimator {
         &self.model
     }
 
-    /// Replaces the stage models (long-term-adaptive refreshes).
+    /// Replaces the stage models (long-term-adaptive refreshes). Bumps
+    /// the revision: cached future-stage estimates derived from the old
+    /// models are stale.
     pub fn set_model(&mut self, model: PipelineModel) {
         assert_eq!(model.n_stages(), self.model.n_stages());
         self.model = model;
+        self.queue_times.bump_revision();
     }
 
     /// Mutable access to the queue tracker (the dispatcher feeds it).
@@ -92,6 +121,14 @@ impl EttEstimator {
     /// Read access to the queue tracker.
     pub fn queue_times(&self) -> &QueueTimeTracker {
         &self.queue_times
+    }
+
+    /// Revision of this estimator's inputs: [`EttEstimator::remaining`]
+    /// for a fixed `(job, stage, plan)` returns bit-identical values
+    /// between two calls at the same revision, so Eq. 1 caches keyed on
+    /// it never go stale silently.
+    pub fn revision(&self) -> u64 {
+        self.queue_times.revision()
     }
 
     /// `EET_i(j)`: execution-time estimate of stage `i` under the job's

@@ -13,6 +13,10 @@
 //!   `ETT(j)`.
 //! * [`delay_cost`](mod@delay_cost) — Eq. 1: the reward lost by delaying everything in a
 //!   queue by `delay` time units.
+//! * [`aggregate`] — incremental Eq. 1: per-class delay-cost aggregates
+//!   maintained on enqueue/dequeue, so a scaling decision prices the
+//!   queue from a few cached numbers instead of a full walk (the naive
+//!   [`mod@delay_cost`] walk stays as the debug oracle).
 //! * [`plan`] — execution plans (per-stage shards × threads) and the plan
 //!   optimiser. For the time-based reward, profit is separable per stage
 //!   and the optimum is exact; for the throughput-based reward the solver
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod alloc;
 pub mod delay_cost;
 pub mod estimate;
@@ -37,6 +42,7 @@ pub mod plan;
 pub mod queue;
 pub mod scaling;
 
+pub use aggregate::{Eq1Pricer, QueueAggregates};
 pub use alloc::{AllocationContext, AllocationPolicy, Allocator};
 pub use delay_cost::{delay_cost, QueuedJobView};
 pub use estimate::{EttEstimator, QueueTimeTracker};

@@ -15,7 +15,7 @@
 //! [`ScalingPolicy::decide_traced`], carrying the Eq. 1 numbers that
 //! justified it — the paper's core comparison made observable.
 
-use crate::delay_cost::{delay_cost, QueuedJobView};
+use crate::aggregate::Eq1Pricer;
 use scan_sim::{ScalingChoice, SimTime, TraceEvent, Tracer};
 use scan_workload::reward::RewardFn;
 use serde::{Deserialize, Serialize};
@@ -47,15 +47,18 @@ impl ScalingPolicy {
     }
 }
 
-/// Everything a scaling decision sees. Borrows the stalled queue's view
-/// from the caller — the platform reuses one scratch buffer across
-/// decisions instead of allocating a `Vec` per dispatch pass.
+/// Everything a scaling decision sees. Borrows the stalled class's
+/// incremental Eq. 1 pricing window from the caller — decisions read a
+/// few cached aggregate numbers instead of a per-dispatch queue walk.
 #[derive(Debug, Clone)]
 pub struct ScalingContext<'a> {
     /// True if the private tier can host the needed shape right now.
     pub private_has_capacity: bool,
-    /// Jobs affected by the stall (the stalled queue, Eq. 1's `Q`).
-    pub queued: &'a [QueuedJobView],
+    /// Eq. 1 pricer over the stalled class (Eq. 1's `Q`, aggregated).
+    pub eq1: Eq1Pricer<'a>,
+    /// True pending-entry depth of the stalled class queue (tracing: the
+    /// Eq. 1 window caps and dedups, so its length understates load).
+    pub queue_depth: u32,
     /// Projected wait until an existing worker frees up, TU.
     pub expected_wait_tu: f64,
     /// Public price per core·TU.
@@ -121,7 +124,7 @@ impl ScalingPolicy {
                 // (the new hire still pays the boot penalty, so the
                 // avoided delay is wait − boot, floored at zero).
                 let avoided_delay = (ctx.expected_wait_tu - ctx.boot_penalty_tu).max(0.0);
-                let dc = delay_cost(&ctx.reward, ctx.queued, avoided_delay);
+                let dc = ctx.eq1.delay_cost(&ctx.reward, avoided_delay);
                 // What the hire costs: public cores for boot + the task.
                 let hire_cost = ctx.public_price_per_core_tu
                     * ctx.cores_needed as f64
@@ -161,7 +164,7 @@ impl ScalingPolicy {
         tracer.emit_with(at, || TraceEvent::ScalingDecision {
             stage: ctx.stage,
             cores: ctx.cores_needed,
-            queued_jobs: ctx.queued.len() as u32,
+            queued_jobs: ctx.queue_depth,
             delay_cost: costs.delay_cost,
             hire_cost: costs.hire_cost,
             choice: match decision {
@@ -177,18 +180,30 @@ impl ScalingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregate::QueueAggregates;
+    use crate::queue::TaskClass;
     use scan_sim::RingBuffer;
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn queue(len: usize) -> Vec<QueuedJobView> {
-        (0..len).map(|_| QueuedJobView { size_units: 5.0, ett: 15.0 }).collect()
+    const CLASS: TaskClass = TaskClass { stage: 0, cores: 4 };
+
+    /// `len` queued single-shard jobs of size 5 (the old fixture's
+    /// shape); the reward is time-based, so ETT terms are irrelevant.
+    fn agg(len: usize) -> QueueAggregates {
+        let mut a = QueueAggregates::new();
+        for i in 0..len {
+            a.on_enqueue(CLASS, i as u32, 5.0, SimTime::ZERO, 1);
+        }
+        a
     }
 
-    fn ctx<'a>(private: bool, wait: f64, queued: &'a [QueuedJobView]) -> ScalingContext<'a> {
+    fn ctx(private: bool, wait: f64, agg: &QueueAggregates) -> ScalingContext<'_> {
+        let eq1 = agg.pricer(CLASS, 0, 256, SimTime::ZERO);
         ScalingContext {
             private_has_capacity: private,
-            queued,
+            queue_depth: eq1.window_len() as u32,
+            eq1,
             expected_wait_tu: wait,
             public_price_per_core_tu: 50.0,
             stage: 0,
@@ -201,7 +216,7 @@ mod tests {
 
     #[test]
     fn everyone_prefers_private() {
-        let q = queue(5);
+        let q = agg(5);
         for p in ScalingPolicy::all() {
             assert_eq!(p.decide(&ctx(true, 10.0, &q)), ScalingDecision::HirePrivate);
         }
@@ -209,15 +224,16 @@ mod tests {
 
     #[test]
     fn always_scale_always_hires_public() {
+        let q = agg(0);
         assert_eq!(
-            ScalingPolicy::AlwaysScale.decide(&ctx(false, 0.1, &[])),
+            ScalingPolicy::AlwaysScale.decide(&ctx(false, 0.1, &q)),
             ScalingDecision::HirePublic
         );
     }
 
     #[test]
     fn never_scale_always_waits() {
-        let q = queue(50);
+        let q = agg(50);
         assert_eq!(ScalingPolicy::NeverScale.decide(&ctx(false, 100.0, &q)), ScalingDecision::Wait);
     }
 
@@ -225,7 +241,7 @@ mod tests {
     fn predictive_hires_under_pressure() {
         // Long wait, deep queue: delay cost = 20 jobs × 5 units × 15 ×
         // (10 − 0.5) ≈ 14 250 ≫ hire cost 50 × 4 × 3.5 = 700.
-        let q = queue(20);
+        let q = agg(20);
         assert_eq!(
             ScalingPolicy::Predictive.decide(&ctx(false, 10.0, &q)),
             ScalingDecision::HirePublic
@@ -235,17 +251,21 @@ mod tests {
     #[test]
     fn predictive_waits_when_cheap() {
         // Tiny wait: avoided delay ≈ 0 → cost of waiting ≈ 0 < hire cost.
-        let q = queue(20);
+        let q = agg(20);
         assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 0.4, &q)), ScalingDecision::Wait);
         // Empty queue: nothing to lose by waiting.
-        assert_eq!(ScalingPolicy::Predictive.decide(&ctx(false, 10.0, &[])), ScalingDecision::Wait);
+        let empty = agg(0);
+        assert_eq!(
+            ScalingPolicy::Predictive.decide(&ctx(false, 10.0, &empty)),
+            ScalingDecision::Wait
+        );
     }
 
     #[test]
     fn predictive_threshold_scales_with_price() {
         // A wait that justifies hiring at 50 CU may not at 1000 CU:
         // DC = 3 × 5 × 15 × (5 − 0.5) ≈ 1012 vs hire 50 × 4 × 3.5 = 700.
-        let q = queue(3);
+        let q = agg(3);
         let mut c = ctx(false, 5.0, &q);
         assert_eq!(ScalingPolicy::Predictive.decide(&c), ScalingDecision::HirePublic);
         c.public_price_per_core_tu = 1000.0;
@@ -254,7 +274,7 @@ mod tests {
 
     #[test]
     fn priced_decision_exposes_the_eq1_comparison() {
-        let q = queue(20);
+        let q = agg(20);
         let (d, costs) = ScalingPolicy::Predictive.decide_priced(&ctx(false, 10.0, &q));
         assert_eq!(d, ScalingDecision::HirePublic);
         assert!(costs.delay_cost > costs.hire_cost);
@@ -265,16 +285,16 @@ mod tests {
     }
 
     #[test]
-    fn traced_decision_emits_the_comparison() {
+    fn traced_decision_emits_the_comparison_and_true_depth() {
         let ring = Rc::new(RefCell::new(RingBuffer::new(4)));
         let mut tracer = Tracer::disabled();
         tracer.attach(ring.clone());
-        let q = queue(20);
-        let d = ScalingPolicy::Predictive.decide_traced(
-            &ctx(false, 10.0, &q),
-            SimTime::new(7.0),
-            &tracer,
-        );
+        let q = agg(20);
+        let mut c = ctx(false, 10.0, &q);
+        // The emitted depth is the caller's true entry count, not the
+        // (capped, deduped) Eq. 1 window length.
+        c.queue_depth = 500;
+        let d = ScalingPolicy::Predictive.decide_traced(&c, SimTime::new(7.0), &tracer);
         assert_eq!(d, ScalingDecision::HirePublic);
         let ring = ring.borrow();
         assert_eq!(ring.len(), 1);
@@ -282,7 +302,7 @@ mod tests {
         assert_eq!(at, SimTime::new(7.0));
         match ev {
             TraceEvent::ScalingDecision { queued_jobs, delay_cost, hire_cost, choice, .. } => {
-                assert_eq!(queued_jobs, 20);
+                assert_eq!(queued_jobs, 500);
                 assert!(delay_cost > hire_cost);
                 assert_eq!(choice, ScalingChoice::HirePublic);
             }

@@ -130,6 +130,15 @@ impl RewardFn {
         self.reward(d, t) - self.reward(d, t + delay)
     }
 
+    /// Whether [`RewardFn::delay_loss`] depends on the job's latency
+    /// operating point `t` (its ETT). The time-based scheme's loss is
+    /// `d · rpenalty · delay` regardless of `t`, which is what lets
+    /// Eq. 1 aggregate it per class as a plain Σd; every other scheme
+    /// bends with `t` and needs per-job ETT terms.
+    pub fn depends_on_ett(&self) -> bool {
+        !matches!(self, RewardFn::TimeBased { .. })
+    }
+
     /// Latency at which the reward hits zero (None if it never does).
     pub fn breakeven_latency(&self, _d: f64) -> Option<f64> {
         match *self {
@@ -239,6 +248,17 @@ mod tests {
             "deadline"
         );
         assert_eq!(RewardFn::Plateau { rmax: 1.0, rpenalty: 0.0, plateau: 1.0 }.name(), "plateau");
+    }
+
+    #[test]
+    fn only_the_time_based_loss_ignores_ett() {
+        assert!(!RewardFn::paper_time_based().depends_on_ett());
+        assert!(RewardFn::paper_throughput_based().depends_on_ett());
+        assert!(RewardFn::Deadline { rmax: 1.0, rpenalty: 1.0, deadline: 1.0 }.depends_on_ett());
+        assert!(RewardFn::Plateau { rmax: 1.0, rpenalty: 1.0, plateau: 1.0 }.depends_on_ett());
+        // The claim itself: time-based delay_loss is flat in t.
+        let r = RewardFn::paper_time_based();
+        assert_eq!(r.delay_loss(5.0, 3.0, 2.0).to_bits(), r.delay_loss(5.0, 99.0, 2.0).to_bits());
     }
 
     proptest! {

@@ -5,6 +5,9 @@
 #
 #   ./scripts/bench.sh                         run all benches, print JSON
 #   ./scripts/bench.sh --quick                 end-to-end session bench only
+#   ./scripts/bench.sh --benches hiring,session,fleet
+#                                              run a named subset (skips
+#                                              the export-footprint step)
 #   ./scripts/bench.sh --label after --out BENCH_PR3.json
 #                                              merge this run into the
 #                                              ledger under "runs.after"
@@ -18,9 +21,11 @@ cd "$(dirname "$0")/.."
 quick=0
 label="run"
 out=""
+subset=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) quick=1 ;;
+        --benches) subset="$2"; shift ;;
         --label) label="$2"; shift ;;
         --out) out="$2"; shift ;;
         *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -28,9 +33,14 @@ while [[ $# -gt 0 ]]; do
     shift
 done
 
-benches=(session)
-if [[ "$quick" == 0 ]]; then
-    benches+=(dispatch hiring metrics lint fleet tracestore)
+if [[ -n "$subset" ]]; then
+    IFS=',' read -r -a benches <<< "$subset"
+    quick=1 # subset runs skip the export-footprint measurement too
+else
+    benches=(session)
+    if [[ "$quick" == 0 ]]; then
+        benches+=(dispatch hiring metrics lint fleet tracestore)
+    fi
 fi
 
 raw="$(mktemp)"
