@@ -18,20 +18,24 @@
 //!   premium, predictive tracks the better baseline.
 //!
 //! Usage: `cargo run --release -p scan-bench --bin fig4 [--quick] [--trace <path>]
-//! [--store <path>] [--metrics <path>] [--profile <path>]`
+//! [--store <path>] [--spans <path> [--slowest N]] [--metrics <path>]
+//! [--profile <path>]`
 //!
 //! `--trace <path>` additionally dumps the typed JSONL event trace of one
 //! representative session (predictive scaling, 2.0 TU interval);
 //! `--store <path>` ingests that session into the columnar trace store
 //! and writes its compact SCTS export (see `docs/TRACESTORE.md`);
+//! `--spans <path>` derives that session's causal job spans and writes
+//! the Chrome/Perfetto timeline plus a critical-path report with the
+//! `--slowest N` job table (see `docs/SPANS.md`);
 //! `--metrics <path>` dumps that session's metrics registry (JSONL +
 //! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
 //! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::EXPERIMENT_SEED;
 use scan_bench::{
-    dump_instrumented, dump_store, dump_trace, instrument_flags_from_args, pm, run_cell,
-    store_path_from_args, trace_path_from_args, PAPER_REPETITIONS,
+    dump_instrumented, dump_spans, dump_store, dump_trace, instrument_flags_from_args, pm,
+    run_cell, spans_flags_from_args, store_path_from_args, trace_path_from_args, PAPER_REPETITIONS,
 };
 use scan_platform::config::{ScanConfig, VariableParams};
 use scan_sched::scaling::ScalingPolicy;
@@ -74,8 +78,10 @@ fn main() {
 
     let (metrics_path, profile_path) = instrument_flags_from_args();
     let store_path = store_path_from_args();
+    let (spans_path, slowest) = spans_flags_from_args();
     if trace_path_from_args().is_some()
         || store_path.is_some()
+        || spans_path.is_some()
         || metrics_path.is_some()
         || profile_path.is_some()
     {
@@ -87,6 +93,9 @@ fn main() {
         }
         if let Some(path) = store_path {
             dump_store(&cfg, &path);
+        }
+        if let Some(path) = spans_path {
+            dump_spans(&cfg, &path, slowest);
         }
         dump_instrumented(&cfg, metrics_path.as_deref(), profile_path.as_deref());
     }

@@ -20,19 +20,25 @@
 //! pipeline run" rises one notch at a time.
 //!
 //! Usage: `cargo run --release -p scan-bench --bin fig5 [--quick] [--trace <path>]
-//! [--store <path>] [--metrics <path>] [--profile <path>]`
+//! [--store <path>] [--spans <path> [--slowest N]] [--metrics <path>]
+//! [--profile <path>]`
 //!
 //! `--trace <path>` additionally dumps the typed JSONL event trace of one
 //! representative session (the first frontier plan), reshapes included;
 //! `--store <path>` ingests that session into the columnar trace store
 //! and writes its compact SCTS export (see `docs/TRACESTORE.md`);
+//! `--spans <path>` derives that session's causal job spans — reshape
+//! penalties included — and writes the Chrome/Perfetto timeline plus a
+//! critical-path report with the `--slowest N` job table (see
+//! `docs/SPANS.md`);
 //! `--metrics <path>` dumps that session's metrics registry (JSONL +
 //! Prometheus at `<path>.prom`); `--profile <path>` writes its wall-clock
 //! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::{
-    dump_instrumented, dump_store, dump_trace, instrument_flags_from_args, pm,
-    store_path_from_args, trace_path_from_args, EXPERIMENT_SEED, PAPER_REPETITIONS,
+    dump_instrumented, dump_spans, dump_store, dump_trace, instrument_flags_from_args, pm,
+    spans_flags_from_args, store_path_from_args, trace_path_from_args, EXPERIMENT_SEED,
+    PAPER_REPETITIONS,
 };
 use scan_platform::config::{RewardKind, ScanConfig, VariableParams};
 use scan_platform::sweep::run_replicated;
@@ -74,9 +80,11 @@ fn main() {
 
     let trace_path = trace_path_from_args();
     let store_path = store_path_from_args();
+    let (spans_path, slowest) = spans_flags_from_args();
     let (metrics_path, profile_path) = instrument_flags_from_args();
     let wants_dump = trace_path.is_some()
         || store_path.is_some()
+        || spans_path.is_some()
         || metrics_path.is_some()
         || profile_path.is_some();
     if let (true, Some(plan)) = (wants_dump, picks.first()) {
@@ -98,6 +106,9 @@ fn main() {
         }
         if let Some(path) = store_path {
             dump_store(&cfg, &path);
+        }
+        if let Some(path) = spans_path {
+            dump_spans(&cfg, &path, slowest);
         }
         dump_instrumented(&cfg, metrics_path.as_deref(), profile_path.as_deref());
     }

@@ -22,12 +22,15 @@
 //!
 //! Usage: `cargo run --release -p scan-bench --bin sweep
 //!         [--full] [--calibrated] [--trace <path>] [--store <path>]
-//!         [--cell-trace <path>]`
+//!         [--spans <path> [--slowest N]] [--cell-trace <path>]`
 //!
 //! `--trace <path>` dumps the typed JSONL event trace of one
 //! representative session (the grid's first cell); `--store <path>`
 //! ingests that session into the columnar trace store and writes its
-//! compact SCTS export (see `docs/TRACESTORE.md`); `--cell-trace <path>`
+//! compact SCTS export (see `docs/TRACESTORE.md`); `--spans <path>`
+//! derives that session's causal job spans and writes the
+//! Chrome/Perfetto timeline plus a critical-path report with the
+//! `--slowest N` job table (see `docs/SPANS.md`); `--cell-trace <path>`
 //! writes one JSONL line per grid cell (parameters + the merged
 //! [`DecisionStats`] payload — shape documented in `docs/TRACE_SCHEMA.md`);
 //! `--metrics <path>` dumps the first cell's metrics registry (JSONL +
@@ -35,8 +38,9 @@
 //! self-profile as collapsed stacks and prints the self/total table.
 
 use scan_bench::{
-    dump_instrumented, dump_store, dump_trace, instrument_flags_from_args, path_flag_from_args,
-    store_path_from_args, trace_path_from_args, EXPERIMENT_SEED,
+    dump_instrumented, dump_spans, dump_store, dump_trace, instrument_flags_from_args,
+    path_flag_from_args, spans_flags_from_args, store_path_from_args, trace_path_from_args,
+    EXPERIMENT_SEED,
 };
 use scan_platform::config::{ParameterGrid, ScanConfig};
 use scan_platform::observers::{DecisionStats, DecisionStatsFactory};
@@ -75,6 +79,10 @@ fn main() {
     }
     if let Some(path) = store_path_from_args() {
         dump_store(&base, &path);
+    }
+    let (spans_path, slowest) = spans_flags_from_args();
+    if let Some(path) = spans_path {
+        dump_spans(&base, &path, slowest);
     }
     let (metrics_path, profile_path) = instrument_flags_from_args();
     dump_instrumented(&base, metrics_path.as_deref(), profile_path.as_deref());

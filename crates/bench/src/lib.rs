@@ -23,15 +23,18 @@
 #![forbid(unsafe_code)]
 
 use scan_platform::config::{ScanConfig, VariableParams};
-use scan_platform::fleet::run_fleet_replicated_with;
 use scan_platform::fleet::FleetConfig;
+use scan_platform::fleet::{run_fleet_replicated_with, run_fleet_with};
 use scan_platform::instrument::{run_session_instrumented, DEFAULT_WINDOW_TU};
 use scan_platform::metrics::ReplicatedMetrics;
 use scan_platform::session::{run_session_traced, run_session_with};
 use scan_platform::sweep::run_replicated;
 use scan_sched::scaling::ScalingPolicy;
+use scan_sim::Merge;
+use scan_spans::{Recorder, RecorderFactory, Recording, SpanSet};
 use scan_tracestore::{TraceStore, TraceStoreFactory};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Default repetitions: the paper's "all measurements were repeated 10
 /// times".
@@ -153,6 +156,114 @@ pub fn dump_trace(cfg: &ScanConfig, path: &std::path::Path) {
 /// bins, parsed from argv.
 pub fn instrument_flags_from_args() -> (Option<PathBuf>, Option<PathBuf>) {
     (path_flag_from_args("metrics"), path_flag_from_args("profile"))
+}
+
+/// Parses a numeric `--<flag> N` (or `--<flag>=N`) option from argv.
+/// `flag` is given without the leading dashes; unparsable values count
+/// as absent.
+pub fn num_flag_from_args(flag: &str) -> Option<usize> {
+    let spaced = format!("--{flag}");
+    let joined = format!("--{flag}=");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == spaced {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&joined) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// The `--spans <path>` / `--slowest N` pair shared by the bench bins,
+/// parsed from argv (`--slowest` defaults to 10 rows when absent).
+pub fn spans_flags_from_args() -> (Option<PathBuf>, usize) {
+    (path_flag_from_args("spans"), num_flag_from_args("slowest").unwrap_or(10))
+}
+
+/// A copy of `cfg` with the SLO monitor armed: spans runs default the
+/// target to the break-even latency (`rmax / rpenalty`, the point where
+/// a time-based reward hits zero) when the caller hasn't set one, so
+/// `slo_violation` events and the burn-rate meters light up.
+fn with_slo_default(cfg: &ScanConfig) -> ScanConfig {
+    let mut cfg = cfg.clone();
+    if cfg.slo_target_tu.is_none() {
+        cfg.slo_target_tu = Some(cfg.breakeven_latency_tu());
+    }
+    cfg
+}
+
+/// Writes the span artefacts: the Chrome/Perfetto trace-event JSON to
+/// `path`, and the aggregate + slowest-jobs text report to `<path>.txt`
+/// (also echoed on stdout). Every line of the report is deterministic —
+/// byte-identical across `RAYON_NUM_THREADS` — which CI exploits by
+/// comparing the report files of a 1-thread and an 8-thread fleet run.
+/// `timeline` is the (store, spans) pair the Perfetto document renders —
+/// always a single run, because job/VM ids restart per repetition —
+/// while `report_spans` may cover many merged repetitions.
+fn write_spans(
+    timeline: (&TraceStore, &SpanSet),
+    report_spans: &SpanSet,
+    label: &str,
+    path: &Path,
+    slowest: usize,
+) {
+    let doc = scan_spans::perfetto::export(timeline.0, timeline.1);
+    let mut report = scan_spans::render(&scan_spans::aggregate(report_spans));
+    report.push_str(&scan_spans::render_slowest(report_spans, slowest));
+    print!("{report}");
+    let mut report_path = path.as_os_str().to_os_string();
+    report_path.push(".txt");
+    let report_path = PathBuf::from(report_path);
+    match std::fs::write(path, &doc).and_then(|()| std::fs::write(&report_path, &report)) {
+        Ok(()) => println!(
+            "spans: wrote {} (perfetto, {} bytes) and {} ({label}, {} jobs, {} in flight)",
+            path.display(),
+            doc.len(),
+            report_path.display(),
+            report_spans.jobs.len(),
+            report_spans.in_flight
+        ),
+        Err(e) => eprintln!("spans: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Runs one representative session (repetition 0 of `cfg`, SLO monitor
+/// armed at the break-even default) with a [`Recorder`] — a columnar
+/// store and the span observer on one stream — and writes the span
+/// artefacts. The `--spans` analogue of [`dump_store`]; the recorded run
+/// is separate from the measured repetitions, so tables are unaffected.
+pub fn dump_spans(cfg: &ScanConfig, path: &Path, slowest: usize) {
+    let cfg = with_slo_default(cfg);
+    let (_, rec) = run_session_with(&cfg, 0, Recorder::default());
+    let spans = rec.spans.into_spans();
+    write_spans((&rec.store, &spans), &spans, "1 session", path, slowest);
+}
+
+/// Runs `repetitions` whole fleets with one [`Recorder`] per tenant
+/// session and writes the span artefacts: the aggregate report covers
+/// every repetition (merged in `(repetition, tenant)` order, so it is
+/// bit-identical for any `RAYON_NUM_THREADS`), while the Perfetto JSON
+/// covers repetition 0 only — job and VM ids restart every repetition,
+/// so a multi-repetition timeline would stack unrelated slices.
+pub fn dump_fleet_spans(cfg: &FleetConfig, repetitions: u64, path: &Path, slowest: usize) {
+    let mut cfg = cfg.clone();
+    cfg.base = Arc::new(with_slo_default(&cfg.base));
+    let factory = RecorderFactory::fleet(u64::from(cfg.tenants));
+    let (_, merged) = run_fleet_replicated_with(&cfg, repetitions, &factory);
+    let (_, rep0) = run_fleet_with(&cfg, 0, &factory);
+    let mut first = Recording::default();
+    for tenant in rep0 {
+        first.merge(tenant);
+    }
+    write_spans(
+        (&first.store, &first.spans),
+        &merged.spans,
+        &format!("{repetitions} fleet reps"),
+        path,
+        slowest,
+    );
 }
 
 /// Runs one instrumented representative session (repetition 0 of `cfg`)

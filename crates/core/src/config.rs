@@ -168,6 +168,12 @@ pub struct ScanConfig {
     /// Override the execution plan for every job (used by the Fig. 5
     /// core-stage sweep); `None` lets the allocation policy decide.
     pub forced_plan: Option<Vec<(u32, u32)>>,
+    /// End-to-end latency SLO target in TU. When set, every completed
+    /// job with `latency_tu > target` emits an `slo_violation` trace
+    /// event and bumps the SLO burn meters; `None` (the default)
+    /// disables SLO monitoring and leaves traces unchanged.
+    #[serde(default)]
+    pub slo_target_tu: Option<f64>,
 }
 
 impl ScanConfig {
@@ -179,7 +185,15 @@ impl ScanConfig {
             seed,
             allow_reshape: false,
             forced_plan: None,
+            slo_target_tu: None,
         }
+    }
+
+    /// The latency at which the paper's time-based reward reaches zero
+    /// (`Rmax / Rpenalty` ≈ 26.7 TU at Table III constants) — the
+    /// natural SLO target: any job slower than this earns nothing.
+    pub fn breakeven_latency_tu(&self) -> f64 {
+        self.fixed.rmax / self.fixed.rpenalty
     }
 
     /// The reward function object for this config.

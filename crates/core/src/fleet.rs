@@ -197,6 +197,14 @@ impl FleetMetrics {
                 "Jobs the fair-share admission gate deferred for one fleet tenant",
             );
             r.counter_add(deferred, m.jobs_deferred);
+            let slo = r.counter(
+                "fleet_slo_violations_total",
+                "tenant",
+                &tenant,
+                "jobs",
+                "Completed jobs that missed the SLO target, per fleet tenant",
+            );
+            r.counter_add(slo, m.jobs_slo_violated);
             let spend = r.gauge(
                 "fleet_spend_cu",
                 "tenant",
@@ -385,7 +393,7 @@ mod tests {
         let cfg = fleet(2, 24, 4);
         let m = run_fleet(&cfg, 0);
         let r = m.registry();
-        assert_eq!(r.counters().len(), 4, "two families × two tenants");
+        assert_eq!(r.counters().len(), 6, "three families × two tenants");
         let completed: u64 = r
             .counters()
             .iter()

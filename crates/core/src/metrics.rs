@@ -14,6 +14,10 @@ pub struct SessionMetrics {
     pub jobs_deferred: u64,
     /// Pipeline runs completed before the horizon.
     pub jobs_completed: u64,
+    /// Completed jobs whose latency missed the configured SLO target
+    /// (always zero unless `ScanConfig::slo_target_tu` is set).
+    #[serde(default)]
+    pub jobs_slo_violated: u64,
     /// Total reward earned, CU.
     pub total_reward: f64,
     /// Total infrastructure cost, CU.
@@ -120,6 +124,7 @@ mod tests {
             jobs_submitted: 100,
             jobs_deferred: 0,
             jobs_completed: 90,
+            jobs_slo_violated: 0,
             total_reward: 10_000.0,
             total_cost: 4_000.0,
             profit_per_run,

@@ -23,6 +23,22 @@ impl Platform {
                 core_stages: run.plan.total_core_stages() as f64,
             },
         );
+        if let Some(target) = self.cfg.slo_target_tu {
+            if latency > target {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::SloViolation {
+                        job: run.job.id.0 as u64,
+                        latency_tu: latency,
+                        target_tu: target,
+                    },
+                );
+                if let Some(mm) = &self.meters {
+                    mm.metrics.counter_add(mm.slo_violations, 1);
+                    mm.metrics.rate_add(mm.slo_burn, now.as_tu(), 1.0);
+                }
+            }
+        }
     }
 
     /// Settles billing, closes the trace stream, and reads the session's
@@ -56,6 +72,7 @@ pub struct MetricsAggregator {
     submitted: u64,
     deferred: u64,
     completed: u64,
+    slo_violated: u64,
     total_reward: f64,
     latency_stats: OnlineStats,
     latency_hist: Histogram,
@@ -84,6 +101,7 @@ impl MetricsAggregator {
             submitted: 0,
             deferred: 0,
             completed: 0,
+            slo_violated: 0,
             total_reward: 0.0,
             latency_stats: OnlineStats::new(),
             latency_hist: Histogram::new(0.0, 400.0, 800),
@@ -112,6 +130,7 @@ impl MetricsAggregator {
             jobs_submitted: self.submitted,
             jobs_deferred: self.deferred,
             jobs_completed: self.completed,
+            jobs_slo_violated: self.slo_violated,
             total_reward: self.total_reward,
             total_cost: self.total_cost,
             profit_per_run,
@@ -154,6 +173,7 @@ impl Observer for MetricsAggregator {
                 self.latency_hist.record(latency_tu);
                 self.core_stage_stats.push(core_stages);
             }
+            TraceEvent::SloViolation { .. } => self.slo_violated += 1,
             TraceEvent::SubtaskDispatched { cores, busy_tu, .. } => {
                 self.busy_core_tu += cores as f64 * busy_tu;
             }

@@ -98,8 +98,14 @@ impl Platform {
     }
 
     fn admit(&mut self, job: Job, now: SimTime) {
-        self.tracer
-            .emit(now, TraceEvent::JobArrived { job: job.id.0 as u64, size_units: job.size_units });
+        self.tracer.emit(
+            now,
+            TraceEvent::JobArrived {
+                job: job.id.0 as u64,
+                size_units: job.size_units,
+                submitted_tu: job.submitted_at.as_tu(),
+            },
+        );
         let plan = match (&self.cfg.forced_plan, &self.learned) {
             (Some(stages), _) => ExecutionPlan::new(stages.clone()),
             (None, Some(planner)) => {

@@ -58,6 +58,10 @@ pub(super) struct PlatformMeters {
     pub(super) queue_depth: SeriesId,
     /// `tier_spend_rate{tier}`: cost accrued per TU, per tier.
     pub(super) spend_rate: [SeriesId; 2],
+    /// `slo_violations_total`: completed jobs that missed the SLO target.
+    pub(super) slo_violations: CounterId,
+    /// `slo_burn_rate`: SLO violations per TU, windowed.
+    pub(super) slo_burn: SeriesId,
 }
 
 impl Platform {
@@ -164,6 +168,21 @@ impl Platform {
                     "Cost accrued per TU, by tier",
                 )
             });
+            let slo_violations = r.counter(
+                "slo_violations_total",
+                "",
+                "",
+                "jobs",
+                "Completed jobs whose latency missed the configured SLO target",
+            );
+            let slo_burn = r.series(
+                SeriesKind::Rate,
+                "slo_burn_rate",
+                "",
+                "",
+                "jobs_per_tu",
+                "SLO violations per TU (windowed burn rate)",
+            );
             PlatformMeters {
                 metrics: Metrics::disabled(), // patched below
                 queue_wait,
@@ -177,6 +196,8 @@ impl Platform {
                 busy_cores,
                 queue_depth,
                 spend_rate,
+                slo_violations,
+                slo_burn,
             }
         });
         if let Some(mut meters) = meters {

@@ -295,12 +295,13 @@ fn golden_fixed_seed_trace_bytes() {
     assert_eq!(hash, GOLDEN_TRACE_FNV1A);
 }
 
-// Regenerated for the incremental-Eq. 1 PR: `queued_jobs` in scaling
-// events now reports the true pending-entry depth instead of the capped
-// deduped view length, so trace payloads (not decisions — the metrics
-// golden above is unchanged) legitimately differ. See EXPERIMENTS.md.
-const GOLDEN_TRACE_LEN: usize = 4321877;
-const GOLDEN_TRACE_FNV1A: u64 = 0x0d6bd845c8e72128;
+// Regenerated for the causal-spans PR: `job_arrived` events now carry
+// `submitted_tu` (the original submission time, needed to stitch the
+// admission-deferred span segment), so every job_arrived JSONL line grew
+// one field. Payload-only change — the metrics golden above is
+// unchanged, no decision flipped. See EXPERIMENTS.md.
+const GOLDEN_TRACE_LEN: usize = 4335421;
+const GOLDEN_TRACE_FNV1A: u64 = 0x431326e026022972;
 
 // ----------------------------------------------------------------------
 // §VI learned policy

@@ -15,6 +15,10 @@
 //!   `EventKind` has a column table under "Column layouts" whose rows
 //!   equal the declared column names, no phantom tables or columns, and
 //!   the "Aggregations" table lists exactly the `Agg::name` labels.
+//! * `spans-doc-drift` — `docs/SPANS.md` against the span data model in
+//!   `crates/spans/src/schema.rs`: the "Segment taxonomy" table lists
+//!   exactly the `SegmentKind::name` labels and the "SLO metrics" table
+//!   lists exactly the `SLO_*` metric-name constants, both directions.
 //!
 //! All sides are parsed structurally (tokens on the code side, table
 //! rows on the markdown side), so a renamed field or a new variant fails
@@ -760,6 +764,167 @@ fn parse_store_doc(doc_text: &str) -> (Vec<StoreDocTable>, Vec<(String, u32)>) {
         }
     }
     (tables, aggs)
+}
+
+/// `(name, line)` rows extracted from a doc table or a code scan.
+type NamedRows = Vec<(String, u32)>;
+
+/// The code-side span model extracted from the spans crate's
+/// `schema.rs`.
+#[derive(Debug, Default)]
+pub struct SpansModel {
+    /// `SegmentKind::name` labels, in declaration order, with the line
+    /// of each string literal.
+    pub segments: NamedRows,
+    /// `SLO_*` const metric names, with the line of each const item.
+    pub slo_metrics: NamedRows,
+}
+
+/// Extracts the [`SpansModel`] from the lexed spans `schema.rs`: the
+/// string literals of the `fn name` body (the segment labels — the file
+/// declares exactly one `fn name`, on `SegmentKind`), and every
+/// `const SLO_…: &str = "…";` item's string.
+pub fn parse_spans_model(src: &SourceFile) -> SpansModel {
+    let code: Vec<&Token> = src.code_tokens().map(|(_, t)| t).collect();
+    let mut model = SpansModel::default();
+    if let Some(body) = brace_body_after(src, &code, &["fn", "name"]) {
+        model.segments = code[body.0..body.1]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .filter_map(|t| t.str_content(&src.text).map(|s| (s.to_string(), t.line)))
+            .collect();
+    }
+    let mut k = 0;
+    while k + 1 < code.len() {
+        let is_const = code[k].kind == TokenKind::Ident && src.text_of(code[k]) == "const";
+        let named_slo =
+            code[k + 1].kind == TokenKind::Ident && src.text_of(code[k + 1]).starts_with("SLO_");
+        if !(is_const && named_slo) {
+            k += 1;
+            continue;
+        }
+        let line = code[k + 1].line;
+        k += 2;
+        while k < code.len() && !matches!(code[k].kind, TokenKind::Punct(b';')) {
+            if code[k].kind == TokenKind::Str {
+                if let Some(s) = code[k].str_content(&src.text) {
+                    model.slo_metrics.push((s.to_string(), line));
+                }
+            }
+            k += 1;
+        }
+    }
+    model
+}
+
+/// Cross-checks docs/SPANS.md against the span model. `doc_path` and
+/// `code_path` are used for diagnostic locations only.
+pub fn check_spans_doc(
+    doc_path: &Path,
+    doc_text: &str,
+    code_path: &Path,
+    model: &SpansModel,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut emit = |path: &Path, line: u32, message: String| {
+        diags.push(Diagnostic {
+            rule: "spans-doc-drift",
+            severity: Severity::Error,
+            path: path.to_path_buf(),
+            line,
+            col: 1,
+            message,
+        });
+    };
+
+    let (doc_segments, doc_slo) = parse_spans_doc(doc_text);
+    if model.segments.is_empty() {
+        emit(code_path, 1, "could not locate `SegmentKind::name` to cross-check".to_string());
+        return diags;
+    }
+    if doc_segments.is_empty() {
+        emit(doc_path, 1, "no rows found under `## Segment taxonomy`".to_string());
+        return diags;
+    }
+
+    for (name, line) in &model.segments {
+        if !doc_segments.iter().any(|(doc_name, _)| doc_name == name) {
+            emit(
+                code_path,
+                *line,
+                format!("segment `{name}` has no row in {}'s segment taxonomy", doc_path.display()),
+            );
+        }
+    }
+    for (name, line) in &doc_segments {
+        if !model.segments.iter().any(|(code_name, _)| code_name == name) {
+            emit(
+                doc_path,
+                *line,
+                format!("documented segment `{name}` does not exist in SegmentKind"),
+            );
+        }
+    }
+
+    if model.slo_metrics.is_empty() {
+        emit(code_path, 1, "could not locate any `SLO_*` metric-name const to cross-check".into());
+        return diags;
+    }
+    for (name, line) in &model.slo_metrics {
+        if !doc_slo.iter().any(|(doc_name, _)| doc_name == name) {
+            emit(
+                code_path,
+                *line,
+                format!("SLO metric `{name}` has no row in {}'s SLO table", doc_path.display()),
+            );
+        }
+    }
+    for (name, line) in &doc_slo {
+        if !model.slo_metrics.iter().any(|(code_name, _)| code_name == name) {
+            emit(
+                doc_path,
+                *line,
+                format!("documented SLO metric `{name}` is not declared in the span schema"),
+            );
+        }
+    }
+    diags
+}
+
+/// Parses docs/SPANS.md: the `` | `name` | `` rows of the "Segment
+/// taxonomy" and "SLO metrics" sections.
+fn parse_spans_doc(doc_text: &str) -> (NamedRows, NamedRows) {
+    let mut segments = Vec::new();
+    let mut slo = Vec::new();
+    let mut in_segments = false;
+    let mut in_slo = false;
+    let mut in_fence = false;
+    for (idx, raw) in doc_text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim_end();
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_segments = heading.trim() == "Segment taxonomy";
+            in_slo = heading.trim() == "SLO metrics";
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some((name, _)) = rest.split_once('`') {
+                if in_segments {
+                    segments.push((name.to_string(), line_no));
+                } else if in_slo {
+                    slo.push((name.to_string(), line_no));
+                }
+            }
+        }
+    }
+    (segments, slo)
 }
 
 /// Extracts `(metric name, line)` rows from the "Metric catalogue"

@@ -99,6 +99,12 @@ pub const RULES: &[RuleInfo] = &[
                   EventKind plus the Agg labels, in both directions",
     },
     RuleInfo {
+        id: "spans-doc-drift",
+        severity: Severity::Error,
+        summary: "docs/SPANS.md must list exactly the segment taxonomy and SLO metric names \
+                  declared in crates/spans/src/schema.rs, in both directions",
+    },
+    RuleInfo {
         id: "bad-allow",
         severity: Severity::Error,
         summary: "scan-lint allow directives must be well-formed, name known rules, and carry a \

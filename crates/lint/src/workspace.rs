@@ -17,10 +17,18 @@ use std::path::{Path, PathBuf};
 /// Crates on the simulation path: determinism rules apply to their
 /// library code. Everything else (kb, genomics, metrics, bench, lint,
 /// the root facade) is free to use wall clocks and hash maps. The trace
-/// store is included: its exports are digest-pinned in CI, so hash
+/// store and the span deriver are included: their artefacts are
+/// digest-pinned / byte-compared across thread counts in CI, so hash
 /// iteration or entropy there breaks the determinism contract too.
-pub const SIM_FACING_CRATES: &[&str] =
-    &["scan-sim", "scan-sched", "scan-cloud", "scan-workload", "scan-platform", "scan-tracestore"];
+pub const SIM_FACING_CRATES: &[&str] = &[
+    "scan-sim",
+    "scan-sched",
+    "scan-cloud",
+    "scan-workload",
+    "scan-platform",
+    "scan-tracestore",
+    "scan-spans",
+];
 
 /// One discovered source file with the facts the rules scope by.
 pub struct WorkspaceFile {
@@ -43,7 +51,7 @@ impl WorkspaceFile {
     }
 }
 
-/// The loaded workspace: every in-scope source file plus the three
+/// The loaded workspace: every in-scope source file plus the four
 /// reference documents.
 pub struct Workspace {
     /// Workspace root directory.
@@ -56,6 +64,8 @@ pub struct Workspace {
     pub metrics_doc: Option<String>,
     /// `docs/TRACESTORE.md` content, if present.
     pub tracestore_doc: Option<String>,
+    /// `docs/SPANS.md` content, if present.
+    pub spans_doc: Option<String>,
 }
 
 /// Outcome of a full run.
@@ -97,6 +107,7 @@ impl Workspace {
             trace_schema: fs::read_to_string(root.join("docs/TRACE_SCHEMA.md")).ok(),
             metrics_doc: fs::read_to_string(root.join("docs/METRICS.md")).ok(),
             tracestore_doc: fs::read_to_string(root.join("docs/TRACESTORE.md")).ok(),
+            spans_doc: fs::read_to_string(root.join("docs/SPANS.md")).ok(),
         })
     }
 
@@ -152,6 +163,24 @@ impl Workspace {
             (_, None) => {
                 diags.push(missing_doc("crates/tracestore/src/schema.rs", "store-doc-drift"));
             }
+        }
+
+        let spans_src = self
+            .files
+            .iter()
+            .find(|wf| wf.crate_name == "scan-spans" && wf.file.path.ends_with("src/schema.rs"));
+        match (&self.spans_doc, spans_src) {
+            (Some(doc), Some(src)) => {
+                let model = consistency::parse_spans_model(&src.file);
+                diags.extend(consistency::check_spans_doc(
+                    Path::new("docs/SPANS.md"),
+                    doc,
+                    &src.file.path,
+                    &model,
+                ));
+            }
+            (None, _) => diags.push(missing_doc("docs/SPANS.md", "spans-doc-drift")),
+            (_, None) => diags.push(missing_doc("crates/spans/src/schema.rs", "spans-doc-drift")),
         }
 
         match &self.metrics_doc {

@@ -2,8 +2,9 @@
 //! caught, and the real committed tree must parse non-vacuously.
 
 use scan_lint::rules::consistency::{
-    check_metrics_doc, check_trace_schema, check_tracestore_doc, collect_registered_metrics,
-    parse_store_model, parse_trace_model, RegisteredMetrics,
+    check_metrics_doc, check_spans_doc, check_trace_schema, check_tracestore_doc,
+    collect_registered_metrics, parse_spans_model, parse_store_model, parse_trace_model,
+    RegisteredMetrics,
 };
 use scan_lint::source::SourceFile;
 use std::path::{Path, PathBuf};
@@ -304,6 +305,122 @@ fn aggregation_drift_is_caught_both_ways() {
 fn store_tables_outside_column_layouts_are_ignored() {
     let doc = format!("{STORE_DOC}\n## Export format\n\n### `not_a_kind`\n\n| `x` | raw |\n");
     assert_eq!(store_diags(&doc, STORE_CODE), Vec::<String>::new());
+}
+
+const SPANS_CODE: &str = r#"
+pub enum SegmentKind {
+    QueueWait,
+    Service,
+}
+
+impl SegmentKind {
+    /// Stable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::QueueWait => "queue_wait",
+            Self::Service => "service",
+        }
+    }
+}
+
+/// Violation counter.
+pub const SLO_VIOLATIONS_TOTAL: &str = "slo_violations_total";
+
+/// Burn-rate series.
+pub const SLO_BURN_RATE: &str = "slo_burn_rate";
+"#;
+
+const SPANS_DOC: &str = "\
+# Spans
+
+## Segment taxonomy
+
+| segment | meaning |
+|---|---|
+| `queue_wait` | waiting for a worker |
+| `service` | anchor subtask executing |
+
+## SLO metrics
+
+| metric | meaning |
+|---|---|
+| `slo_violations_total` | violation counter |
+| `slo_burn_rate` | burn rate |
+
+## Perfetto export
+
+| `not_a_segment` | this table is outside both sections |
+";
+
+fn spans_diags(doc: &str, code: &str) -> Vec<String> {
+    let src = SourceFile::new(PathBuf::from("schema.rs"), code.to_string());
+    let model = parse_spans_model(&src);
+    check_spans_doc(Path::new("SPANS.md"), doc, Path::new("schema.rs"), &model)
+        .into_iter()
+        .map(|d| d.render())
+        .collect()
+}
+
+#[test]
+fn matching_spans_doc_is_clean() {
+    assert_eq!(spans_diags(SPANS_DOC, SPANS_CODE), Vec::<String>::new());
+}
+
+#[test]
+fn undocumented_segment_is_drift() {
+    let doc = SPANS_DOC.replace("| `service` | anchor subtask executing |\n", "");
+    let out = spans_diags(&doc, SPANS_CODE);
+    assert!(out.iter().any(|d| d.contains("segment `service` has no row")), "{out:?}");
+}
+
+#[test]
+fn phantom_segment_row_is_drift() {
+    let doc = SPANS_DOC.replace(
+        "| `service` | anchor subtask executing |",
+        "| `service` | anchor subtask executing |\n| `gc_pause` | n/a |",
+    );
+    let out = spans_diags(&doc, SPANS_CODE);
+    assert!(
+        out.iter().any(|d| d.contains("documented segment `gc_pause` does not exist")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn undocumented_slo_metric_is_drift() {
+    let doc = SPANS_DOC.replace("| `slo_burn_rate` | burn rate |\n", "");
+    let out = spans_diags(&doc, SPANS_CODE);
+    assert!(out.iter().any(|d| d.contains("SLO metric `slo_burn_rate` has no row")), "{out:?}");
+}
+
+#[test]
+fn phantom_slo_metric_row_is_drift() {
+    let doc = SPANS_DOC.replace(
+        "| `slo_burn_rate` | burn rate |",
+        "| `slo_burn_rate` | burn rate |\n| `slo_error_budget` | n/a |",
+    );
+    let out = spans_diags(&doc, SPANS_CODE);
+    assert!(
+        out.iter().any(|d| d.contains("`slo_error_budget` is not declared in the span schema")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn spans_rows_outside_both_sections_are_ignored() {
+    // The trailing "## Perfetto export" table in the fixture is already
+    // outside both sections; a clean result proves it is skipped.
+    assert_eq!(spans_diags(SPANS_DOC, SPANS_CODE), Vec::<String>::new());
+}
+
+#[test]
+fn real_spans_model_parses_non_vacuously() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("crates/spans/src/schema.rs");
+    let text = std::fs::read_to_string(&path).expect("schema.rs exists at the workspace root");
+    let model = parse_spans_model(&SourceFile::new(path, text));
+    assert_eq!(model.segments.len(), 6, "all SegmentKind labels parsed: {:?}", model.segments);
+    assert_eq!(model.slo_metrics.len(), 3, "all SLO_* consts parsed: {:?}", model.slo_metrics);
 }
 
 #[test]

@@ -118,6 +118,10 @@ pub enum TraceEvent {
         job: u64,
         /// Dataset size in abstract units.
         size_units: f64,
+        /// When the job was originally submitted, in TU. Equal to the
+        /// event time unless the fair-share admission gate deferred the
+        /// job first — the gap is the admission-deferred span segment.
+        submitted_tu: f64,
     },
     /// A job's next stage was enqueued (stage 0 = first).
     JobStageAdvanced {
@@ -140,6 +144,17 @@ pub enum TraceEvent {
         reward: f64,
         /// Σ shards·threads of the job's plan (Fig. 5's x-axis).
         core_stages: f64,
+    },
+    /// A completed job missed the configured latency SLO
+    /// (`latency_tu > target_tu`). Emitted right after the job's
+    /// `JobCompleted` event; only present when an SLO target is set.
+    SloViolation {
+        /// Job number.
+        job: u64,
+        /// End-to-end latency in TU.
+        latency_tu: f64,
+        /// The SLO latency target that was missed, in TU.
+        target_tu: f64,
     },
     /// A queued shard subtask started on a worker.
     SubtaskDispatched {
@@ -267,6 +282,7 @@ impl TraceEvent {
             Self::JobArrived { .. } => "job_arrived",
             Self::JobStageAdvanced { .. } => "job_stage_advanced",
             Self::JobCompleted { .. } => "job_completed",
+            Self::SloViolation { .. } => "slo_violation",
             Self::SubtaskDispatched { .. } => "subtask_dispatched",
             Self::SubtaskDone { .. } => "subtask_done",
             Self::VmHired { .. } => "vm_hired",
@@ -546,9 +562,11 @@ impl<W: io::Write> Observer for JsonlWriter<W> {
         }
         let _ = write!(line, ",\"kind\":\"{}\"", event.kind());
         match *event {
-            TraceEvent::JobArrived { job, size_units } => {
+            TraceEvent::JobArrived { job, size_units, submitted_tu } => {
                 let _ = write!(line, ",\"job\":{job},\"size_units\":");
                 push_json_f64(line, size_units);
+                let _ = write!(line, ",\"submitted_tu\":");
+                push_json_f64(line, submitted_tu);
             }
             TraceEvent::JobStageAdvanced { job, stage, shards, cores } => {
                 let _ = write!(
@@ -563,6 +581,12 @@ impl<W: io::Write> Observer for JsonlWriter<W> {
                 push_json_f64(line, reward);
                 let _ = write!(line, ",\"core_stages\":");
                 push_json_f64(line, core_stages);
+            }
+            TraceEvent::SloViolation { job, latency_tu, target_tu } => {
+                let _ = write!(line, ",\"job\":{job},\"latency_tu\":");
+                push_json_f64(line, latency_tu);
+                let _ = write!(line, ",\"target_tu\":");
+                push_json_f64(line, target_tu);
             }
             TraceEvent::SubtaskDispatched { job, stage, vm, cores, waited_tu, busy_tu } => {
                 let _ =
@@ -638,7 +662,7 @@ mod tests {
     use super::*;
 
     fn ev() -> TraceEvent {
-        TraceEvent::JobArrived { job: 7, size_units: 5.25 }
+        TraceEvent::JobArrived { job: 7, size_units: 5.25, submitted_tu: 1.5 }
     }
 
     #[test]
@@ -706,7 +730,10 @@ mod tests {
         let out = String::from_utf8(w.into_inner()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], "{\"t\":1.5,\"kind\":\"job_arrived\",\"job\":7,\"size_units\":5.25}");
+        assert_eq!(
+            lines[0],
+            "{\"t\":1.5,\"kind\":\"job_arrived\",\"job\":7,\"size_units\":5.25,\"submitted_tu\":1.5}"
+        );
         assert!(lines[1].contains("\"hire_cost\":null"));
         assert!(lines[1].contains("\"choice\":\"hire_public\""));
         for l in lines {
@@ -719,9 +746,10 @@ mod tests {
     #[test]
     fn every_variant_serialises() {
         let events = [
-            TraceEvent::JobArrived { job: 1, size_units: 2.0 },
+            TraceEvent::JobArrived { job: 1, size_units: 2.0, submitted_tu: 0.0 },
             TraceEvent::JobStageAdvanced { job: 1, stage: 0, shards: 4, cores: 2 },
             TraceEvent::JobCompleted { job: 1, latency_tu: 3.0, reward: 4.0, core_stages: 8.0 },
+            TraceEvent::SloViolation { job: 1, latency_tu: 30.0, target_tu: 26.0 },
             TraceEvent::SubtaskDispatched {
                 job: 1,
                 stage: 0,
@@ -767,7 +795,8 @@ mod tests {
         let out = String::from_utf8(w.into_inner()).unwrap();
         assert_eq!(
             out.trim_end(),
-            "{\"t\":1.5,\"tenant\":42,\"kind\":\"job_arrived\",\"job\":7,\"size_units\":5.25}"
+            "{\"t\":1.5,\"tenant\":42,\"kind\":\"job_arrived\",\"job\":7,\"size_units\":5.25,\
+             \"submitted_tu\":1.5}"
         );
     }
 

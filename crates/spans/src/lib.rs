@@ -1,0 +1,44 @@
+//! # scan-spans — causal job spans over the trace layer
+//!
+//! Turns the simulator's flat [`TraceEvent`](scan_sim::TraceEvent)
+//! stream into *causal, per-job* observability: every completed job's
+//! end-to-end latency decomposed into an exhaustive, non-overlapping
+//! sequence of typed [`Segment`]s — admission deferral,
+//! queue wait, boot wait, reshape penalty, anchor service, fan-in — that
+//! tile `[submitted, completed]` with bit-exact adjacency, so the
+//! segments' total equals the platform-reported `latency_tu` *bit for
+//! bit* (the conservation invariant, [`JobSpans::conservation_ok`]).
+//!
+//! Two equivalent derivation paths share one state machine: the
+//! incremental [`SpanObserver`] stitches spans live on the simulator's
+//! observer bus (riding alongside a
+//! [`TraceStore`](scan_tracestore::TraceStore) via [`Recorder`]), and
+//! the batch [`derive`](derive::derive) pass replays a stored trace's
+//! tables through the same logic, producing an identical
+//! [`SpanSet`]. On top sit deterministic fleet aggregates
+//! ([`aggregate`](aggregate::aggregate): per-tenant / per-tier p50/p95
+//! per segment) and a Chrome/Perfetto `trace_event` JSON exporter
+//! ([`perfetto::export`]) that loads in `ui.perfetto.dev`.
+//!
+//! The segment taxonomy and the SLO metric names live in [`schema`];
+//! `scan-lint`'s `spans-doc-drift` rule keeps them in sync with
+//! `docs/SPANS.md` in both directions.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod aggregate;
+pub mod derive;
+pub mod observer;
+pub mod perfetto;
+pub mod schema;
+pub mod span;
+
+pub use aggregate::{aggregate, render, render_slowest, GroupStats, SpanAggregates, Stats};
+pub use derive::derive;
+pub use observer::{Recorder, RecorderFactory, Recording, SpanObserver, SpansFactory};
+pub use perfetto::export;
+pub use schema::{
+    SegmentKind, ALL_SEGMENTS, SLO_BURN_RATE, SLO_FLEET_VIOLATIONS_TOTAL, SLO_VIOLATIONS_TOTAL,
+};
+pub use span::{JobSpans, Segment, SpanSet, NO_TIER};

@@ -37,8 +37,10 @@ use std::fmt;
 /// The 4-byte export signature.
 pub const MAGIC: [u8; 4] = *b"SCTS";
 
-/// The format version this crate writes and reads.
-pub const VERSION: u32 = 1;
+/// The format version this crate writes and reads. Bumped to 2 when the
+/// `slo_violation` table and `job_arrived.submitted_tu` column were
+/// added (the table count and per-table layout both changed).
+pub const VERSION: u32 = 2;
 
 /// Why decoding an export failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -313,7 +315,10 @@ mod tests {
     fn sample_store() -> TraceStore {
         let mut store = TraceStore::new();
         store.ingest(SimTime::new(0.25), &TraceEvent::VmHired { vm: 0, tier: 0, cores: 4 });
-        store.ingest(SimTime::new(1.0), &TraceEvent::JobArrived { job: 0, size_units: 12.0 });
+        store.ingest(
+            SimTime::new(1.0),
+            &TraceEvent::JobArrived { job: 0, size_units: 12.0, submitted_tu: 1.0 },
+        );
         store.ingest(
             SimTime::new(1.5),
             &TraceEvent::SubtaskDispatched {
@@ -404,7 +409,7 @@ mod tests {
     fn empty_store_is_tiny() {
         let bytes = TraceStore::new().to_bytes();
         // magic + version + one zero-varint per kind + digest.
-        assert_eq!(bytes.len(), 4 + 4 + 15 + 8);
+        assert_eq!(bytes.len(), 4 + 4 + 16 + 8);
         let decoded = TraceStore::from_bytes(&bytes).expect("empty export must decode");
         assert_eq!(decoded.events(), 0);
     }

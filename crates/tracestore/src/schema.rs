@@ -77,6 +77,8 @@ pub enum EventKind {
     JobStageAdvanced,
     /// `job_completed` rows.
     JobCompleted,
+    /// `slo_violation` rows.
+    SloViolation,
     /// `subtask_dispatched` rows.
     SubtaskDispatched,
     /// `subtask_done` rows.
@@ -104,10 +106,11 @@ pub enum EventKind {
 }
 
 /// Every kind, in table order (the order tables appear in the export).
-pub const ALL_KINDS: [EventKind; 15] = [
+pub const ALL_KINDS: [EventKind; 16] = [
     EventKind::JobArrived,
     EventKind::JobStageAdvanced,
     EventKind::JobCompleted,
+    EventKind::SloViolation,
     EventKind::SubtaskDispatched,
     EventKind::SubtaskDone,
     EventKind::VmHired,
@@ -129,6 +132,7 @@ impl EventKind {
             TraceEvent::JobArrived { .. } => Self::JobArrived,
             TraceEvent::JobStageAdvanced { .. } => Self::JobStageAdvanced,
             TraceEvent::JobCompleted { .. } => Self::JobCompleted,
+            TraceEvent::SloViolation { .. } => Self::SloViolation,
             TraceEvent::SubtaskDispatched { .. } => Self::SubtaskDispatched,
             TraceEvent::SubtaskDone { .. } => Self::SubtaskDone,
             TraceEvent::VmHired { .. } => Self::VmHired,
@@ -152,6 +156,7 @@ impl EventKind {
             Self::JobArrived => "job_arrived",
             Self::JobStageAdvanced => "job_stage_advanced",
             Self::JobCompleted => "job_completed",
+            Self::SloViolation => "slo_violation",
             Self::SubtaskDispatched => "subtask_dispatched",
             Self::SubtaskDone => "subtask_done",
             Self::VmHired => "vm_hired",
@@ -179,7 +184,8 @@ impl EventKind {
     pub fn columns(self) -> &'static [ColumnSpec] {
         // One `const` per kind: const-fn calls are not promoted to
         // `'static` behind a plain `&[...]`, but const items are.
-        const JOB_ARRIVED: &[ColumnSpec] = &[u32c("job"), f64c("size_units")];
+        const JOB_ARRIVED: &[ColumnSpec] = &[u32c("job"), f64c("size_units"), f64c("submitted_tu")];
+        const SLO_VIOLATION: &[ColumnSpec] = &[u32c("job"), f64c("latency_tu"), f64c("target_tu")];
         const JOB_STAGE_ADVANCED: &[ColumnSpec] =
             &[u32c("job"), u32c("stage"), u32c("shards"), u32c("cores")];
         const JOB_COMPLETED: &[ColumnSpec] =
@@ -215,6 +221,7 @@ impl EventKind {
             Self::JobArrived => JOB_ARRIVED,
             Self::JobStageAdvanced => JOB_STAGE_ADVANCED,
             Self::JobCompleted => JOB_COMPLETED,
+            Self::SloViolation => SLO_VIOLATION,
             Self::SubtaskDispatched => SUBTASK_DISPATCHED,
             Self::SubtaskDone => SUBTASK_DONE,
             Self::VmHired => VM_HIRED,
@@ -275,9 +282,10 @@ mod tests {
     #[test]
     fn kind_tags_match_trace_event_kind() {
         let samples = [
-            TraceEvent::JobArrived { job: 1, size_units: 2.0 },
+            TraceEvent::JobArrived { job: 1, size_units: 2.0, submitted_tu: 0.0 },
             TraceEvent::JobStageAdvanced { job: 1, stage: 0, shards: 4, cores: 2 },
             TraceEvent::JobCompleted { job: 1, latency_tu: 3.0, reward: 4.0, core_stages: 8.0 },
+            TraceEvent::SloViolation { job: 1, latency_tu: 30.0, target_tu: 26.0 },
             TraceEvent::SubtaskDispatched {
                 job: 1,
                 stage: 0,

@@ -234,9 +234,10 @@ impl TraceStore {
         table.push_meta(at, tenant);
         let cols = &mut table.cols;
         match *event {
-            TraceEvent::JobArrived { job, size_units } => {
+            TraceEvent::JobArrived { job, size_units, submitted_tu } => {
                 cols[0].push_u32(narrow(job));
                 cols[1].push_f64(size_units);
+                cols[2].push_f64(submitted_tu);
             }
             TraceEvent::JobStageAdvanced { job, stage, shards, cores } => {
                 cols[0].push_u32(narrow(job));
@@ -249,6 +250,11 @@ impl TraceStore {
                 cols[1].push_f64(latency_tu);
                 cols[2].push_f64(reward);
                 cols[3].push_f64(core_stages);
+            }
+            TraceEvent::SloViolation { job, latency_tu, target_tu } => {
+                cols[0].push_u32(narrow(job));
+                cols[1].push_f64(latency_tu);
+                cols[2].push_f64(target_tu);
             }
             TraceEvent::SubtaskDispatched { job, stage, vm, cores, waited_tu, busy_tu } => {
                 cols[0].push_u32(narrow(job));
@@ -395,7 +401,8 @@ mod tests {
     #[test]
     fn ingest_fills_the_right_table() {
         let mut store = TraceStore::new();
-        store.ingest(t(1.0), &TraceEvent::JobArrived { job: 3, size_units: 5.0 });
+        store
+            .ingest(t(1.0), &TraceEvent::JobArrived { job: 3, size_units: 5.0, submitted_tu: 1.0 });
         store.ingest(t(2.0), &TraceEvent::QueueDepthSampled { depth: 9 });
         store.ingest(t(2.0), &TraceEvent::QueueDepthSampled { depth: 7 });
         assert_eq!(store.table(EventKind::JobArrived).rows(), 1);

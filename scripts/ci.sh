@@ -31,6 +31,9 @@ cargo bench --workspace --no-run --quiet
 echo "==> metrics determinism (parallel merge == sequential fold)"
 cargo test -q -p scan-platform instrument::tests::merged_export_is_identical_to_sequential_fold
 
+echo "==> span conservation (medium fig4 cell: segments sum bit-exactly to latency)"
+cargo test -q -p scan-spans --test conservation
+
 if [[ "$quick" != "quick" ]]; then
     echo "==> store determinism (two fixed-seed runs, identical SCTS digest)"
     # The columnar store's 8-byte digest replaces the old multi-megabyte
@@ -51,18 +54,35 @@ if [[ "$quick" != "quick" ]]; then
     echo "==> store/JSONL cross-check (the one retained JSONL gate)"
     cargo test -q --test tracestore_fleet store_agrees_with_the_jsonl_sink
 
-    echo "==> fleet determinism (1 vs 8 rayon threads: stdout + merged store)"
+    echo "==> fleet determinism (1 vs 8 rayon threads: stdout + merged store + spans)"
     f1="$(mktemp)"; f2="$(mktemp)"; fs1="$(mktemp)"; fs2="$(mktemp)"
-    trap 'rm -f "$s1" "$s2" "$o1" "$o2" "$f1" "$f2" "$fs1" "$fs2"' EXIT
+    fp1="$(mktemp)"; fp2="$(mktemp)"
+    trap 'rm -f "$s1" "$s2" "$o1" "$o2" "$f1" "$f2" "$fs1" "$fs2" \
+        "$fp1" "$fp2" "$fp1.txt" "$fp2.txt"' EXIT
     RAYON_NUM_THREADS=1 cargo run -q --release -p scan-bench --bin fleet -- \
-        --quick --store "$fs1" > "$f1"
+        --quick --store "$fs1" --spans "$fp1" > "$f1"
     RAYON_NUM_THREADS=8 cargo run -q --release -p scan-bench --bin fleet -- \
-        --quick --store "$fs2" > "$f2"
-    # The `store: wrote <path>` lines carry the differing temp paths.
-    diff <(grep -v '^store:' "$f1") <(grep -v '^store:' "$f2") \
+        --quick --store "$fs2" --spans "$fp2" > "$f2"
+    # The `store:`/`spans:` "wrote <path>" lines carry the differing temp
+    # paths; the spans report itself is byte-compared below instead.
+    diff <(grep -v '^store:\|^spans:' "$f1") <(grep -v '^store:\|^spans:' "$f2") \
         || { echo "FAIL: fleet result depends on rayon thread count" >&2; exit 1; }
     cmp "$fs1" "$fs2" \
         || { echo "FAIL: merged fleet store depends on rayon thread count" >&2; exit 1; }
+    cmp "$fp1.txt" "$fp2.txt" \
+        || { echo "FAIL: merged fleet span report depends on rayon thread count" >&2; exit 1; }
+    cmp "$fp1" "$fp2" \
+        || { echo "FAIL: fleet Perfetto timeline depends on rayon thread count" >&2; exit 1; }
+
+    # Perf trajectory (non-blocking): compare the two newest bench
+    # ledgers; shared CI boxes are noisy, so a regression here warns
+    # rather than failing the gate.
+    ledgers=($(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -2))
+    if [[ "${#ledgers[@]}" == 2 ]]; then
+        echo "==> bench ledger compare (non-blocking): ${ledgers[0]} -> ${ledgers[1]}"
+        ./scripts/bench.sh --compare "${ledgers[0]}" "${ledgers[1]}" \
+            || echo "WARN: bench ledger regression (non-blocking; see above)" >&2
+    fi
 fi
 
 echo "==> metrics overhead bench (run-gate: disabled hot path must execute)"

@@ -2,7 +2,7 @@
 """Trace-driven figures: turn the simulator's trace surfaces into SVG.
 
 Stdlib-only (json + struct + string formatting — no matplotlib), so it
-runs in the offline container. Four inputs, three figures (emit any
+runs in the offline container. Five inputs, four figures (emit any
 subset):
 
   --store store.scts         columnar SCTS store (fig4/fig5/sweep/fleet
@@ -21,18 +21,23 @@ subset):
                              <path>`): the windowed time series — fleet
                              utilisation, per-tier spend rate, mean queue
                              depth — as three panels over sim time.
+  --spans spans.json.txt     critical-path report (binaries' `--spans
+                             <path>` writes it at `<path>.txt`; see
+                             docs/SPANS.md): the slowest jobs' latency
+                             decomposition as stacked segment bars.
 
   python3 scripts/plot_traces.py --store /tmp/fig4.scts \
       --cell-trace /tmp/cells.jsonl --metrics /tmp/out.jsonl --out-dir plots/
 
-writes plots/session.svg, plots/decisions.svg and plots/metrics.svg. Field
-meanings are documented in docs/TRACE_SCHEMA.md, docs/TRACESTORE.md and
-docs/METRICS.md; regenerate the inputs with
+writes plots/session.svg, plots/decisions.svg, plots/metrics.svg and
+plots/spans.svg. Field
+meanings are documented in docs/TRACE_SCHEMA.md, docs/TRACESTORE.md,
+docs/METRICS.md and docs/SPANS.md; regenerate the inputs with
 
   cargo run --release -p scan-bench --bin sweep -- \
       --trace /tmp/trace.jsonl --cell-trace /tmp/cells.jsonl
   cargo run --release -p scan-bench --bin fig4 -- --quick \
-      --store /tmp/fig4.scts --metrics /tmp/out.jsonl
+      --store /tmp/fig4.scts --metrics /tmp/out.jsonl --spans /tmp/spans.json
 """
 
 import argparse
@@ -110,21 +115,22 @@ def fmt(v):
 
 
 # ----------------------------------------------------------------------
-# SCTS store reader (docs/TRACESTORE.md "Export format (SCTS v1)")
+# SCTS store reader (docs/TRACESTORE.md "Export format (SCTS v2)")
 # ----------------------------------------------------------------------
 
 SCTS_MAGIC = b"SCTS"
-SCTS_VERSION = 1
+SCTS_VERSION = 2
 # Declared columns per table, in table order. Mirrors EventKind::columns
 # in crates/tracestore/src/schema.rs (which scan-lint's store-doc-drift
 # rule pins against docs/TRACESTORE.md). u = varint int, f = raw f64 LE,
 # d = dictionary-encoded label.
 SCTS_SCHEMA = [
-    ("job_arrived", [("job", "u"), ("size_units", "f")]),
+    ("job_arrived", [("job", "u"), ("size_units", "f"), ("submitted_tu", "f")]),
     ("job_stage_advanced",
      [("job", "u"), ("stage", "u"), ("shards", "u"), ("cores", "u")]),
     ("job_completed",
      [("job", "u"), ("latency_tu", "f"), ("reward", "f"), ("core_stages", "f")]),
+    ("slo_violation", [("job", "u"), ("latency_tu", "f"), ("target_tu", "f")]),
     ("subtask_dispatched",
      [("job", "u"), ("stage", "u"), ("vm", "u"), ("cores", "u"),
       ("waited_tu", "f"), ("busy_tu", "f"), ("tier", "d")]),
@@ -153,7 +159,7 @@ def _fnv1a64(data):
 
 
 def read_scts(path):
-    """Decode an SCTS v1 store into {tag: {column: list}}, with the
+    """Decode an SCTS v2 store into {tag: {column: list}}, with the
     implicit `t` (f64 TU) and `tenant` columns materialised and dict
     columns decoded straight to their labels. Verifies the digest."""
     data = open(path, "rb").read()
@@ -470,6 +476,97 @@ def plot_metrics(metrics_path, out_path):
     return True
 
 
+
+# ----------------------------------------------------------------------
+# Figure 4: critical-path spans (slowest jobs' stacked segment bars)
+# ----------------------------------------------------------------------
+
+SEGMENT_COLORS = {
+    "admission_deferred": "#9467bd",
+    "queue_wait": "#ff7f0e",
+    "boot_wait": "#d62728",
+    "reshape_penalty": "#8c564b",
+    "service": "#1f77b4",
+    "fan_in": "#2ca02c",
+}
+
+
+def read_spans_report(path):
+    """Parses the `spans: slowest jobs` table of a `--spans <path>.txt`
+    report (docs/SPANS.md): segment names come from the header row, so
+    the figure tracks the taxonomy without a schema copy here."""
+    jobs, segments = [], None
+    with open(path) as f:
+        lines = [l.rstrip("\n") for l in f if l.startswith("spans: ")]
+    for i, line in enumerate(lines):
+        cols = line[len("spans: "):].split()
+        if cols[:4] == ["tenant", "job", "latency_tu", "stages"]:
+            segments = cols[4:]
+            for row in lines[i + 1:]:
+                vals = row[len("spans: "):].split()
+                if len(vals) != 4 + len(segments) or not vals[0].isdigit():
+                    break
+                jobs.append({
+                    "tenant": int(vals[0]),
+                    "job": int(vals[1]),
+                    "latency_tu": float(vals[2]),
+                    "stages": int(vals[3]),
+                    "segments": [float(v) for v in vals[4:]],
+                })
+            break
+    return segments, jobs
+
+
+def plot_spans(report_path, out_path):
+    segments, jobs = read_spans_report(report_path)
+    if not jobs:
+        print(f"no `spans: slowest jobs` table in {report_path}", file=sys.stderr)
+        return False
+
+    W, ML, MR, MT, ROW, GAP = 860, 150, 18, 56, 26, 8
+    H = MT + len(jobs) * (ROW + GAP) + 58
+    t_max = max(j["latency_tu"] for j in jobs) or 1.0
+    sx = lambda v: (W - ML - MR) * v / t_max
+
+    svg = Svg(W, H)
+    svg.text(ML, 18, f"Critical paths — slowest {len(jobs)} jobs "
+             f"({os.path.basename(report_path)})", size=13)
+    # Legend: one swatch per segment kind that actually occurs.
+    lx = ML
+    occurring = [(k, i) for i, k in enumerate(segments)
+                 if any(j["segments"][i] > 0 for j in jobs)]
+    for name, _ in occurring:
+        svg.rect(lx, 28, 10, 10, SEGMENT_COLORS.get(name, "#999"))
+        svg.text(lx + 14, 37, name, size=10)
+        lx += 14 + 7 * len(name) + 16
+
+    for r, job in enumerate(jobs):
+        y = MT + r * (ROW + GAP)
+        svg.text(ML - 8, y + ROW - 8,
+                 f"t{job['tenant']} job {job['job']}", size=11, anchor="end")
+        x = ML
+        for name, i in occurring:
+            w = sx(job["segments"][i])
+            if w <= 0:
+                continue
+            svg.rect(x, y, w, ROW, SEGMENT_COLORS.get(name, "#999"),
+                     title=f"{name}: {job['segments'][i]:.3f} TU")
+            x += w
+        svg.text(x + 5, y + ROW - 8, f"{job['latency_tu']:.2f} TU", size=10,
+                 color="#555")
+
+    ax_y = MT + len(jobs) * (ROW + GAP) + 6
+    svg.line(ML, ax_y, W - MR, ax_y, "#444")
+    for t in ticks(0, t_max):
+        svg.line(ML + sx(t), ax_y, ML + sx(t), ax_y + 4, "#444")
+        svg.text(ML + sx(t), ax_y + 16, fmt(t), size=10, anchor="middle")
+    svg.text((ML + W - MR) / 2, ax_y + 34, "latency decomposition (TU)",
+             size=11, anchor="middle")
+    svg.write(out_path)
+    print(f"wrote {out_path} ({len(jobs)} jobs, {len(occurring)} segment kinds)")
+    return True
+
+
 # ----------------------------------------------------------------------
 
 
@@ -481,10 +578,11 @@ def main():
     ap.add_argument("--trace", help="per-event session JSONL (binaries' --trace)")
     ap.add_argument("--cell-trace", help="per-cell sweep JSONL (sweep --cell-trace)")
     ap.add_argument("--metrics", help="metrics-registry JSONL (binaries' --metrics)")
+    ap.add_argument("--spans", help="critical-path report (binaries' --spans writes <path>.txt)")
     ap.add_argument("--out-dir", default=".", help="directory for the SVGs")
     args = ap.parse_args()
-    if not args.store and not args.trace and not args.cell_trace and not args.metrics:
-        ap.error("give --store, --trace, --cell-trace and/or --metrics")
+    if not any((args.store, args.trace, args.cell_trace, args.metrics, args.spans)):
+        ap.error("give --store, --trace, --cell-trace, --metrics and/or --spans")
     if args.store and args.trace:
         ap.error("--store and --trace both feed the session figure; give one")
     os.makedirs(args.out_dir, exist_ok=True)
@@ -502,6 +600,8 @@ def main():
         )
     if args.metrics:
         ok &= plot_metrics(args.metrics, os.path.join(args.out_dir, "metrics.svg"))
+    if args.spans:
+        ok &= plot_spans(args.spans, os.path.join(args.out_dir, "spans.svg"))
     sys.exit(0 if ok else 1)
 
 
