@@ -26,6 +26,11 @@ fn bench_lint(c: &mut Criterion) {
     let ws = Workspace::load(workspace_root()).expect("workspace loads");
     group.bench_function("rules_only", |b| b.iter(|| black_box(ws.run().diagnostics.len())));
 
+    // The interprocedural layer alone: item parse + symbol table + call
+    // graph + the three semantic passes. CI budgets the whole analysis
+    // at 250 ms (`--time-budget-ms`), so this must stay far under that.
+    group.bench_function("semantic", |b| b.iter(|| black_box(ws.run_semantic().diagnostics.len())));
+
     group.finish();
 }
 

@@ -11,8 +11,9 @@
 //! inventory honest.
 
 use crate::source::SourceFile;
+use std::collections::BTreeMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// How serious a finding is. `--deny-warnings` (the CI gate) promotes
 /// warnings to the error exit code; the distinction still shows in the
@@ -34,6 +35,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// One hop of an interprocedural evidence chain (see
+/// [`crate::rules::semantic`]): a function or source site on the path
+/// from the reported location to the root cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// What this hop is (`Broker::providers`, `` seed `HashMap` ``, …).
+    pub label: String,
+    /// File the hop points into.
+    pub path: PathBuf,
+    /// 1-based line of the hop.
+    pub line: u32,
+}
+
 /// One finding, pointing at a file location.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -49,6 +63,9 @@ pub struct Diagnostic {
     pub col: u32,
     /// Human explanation, one sentence.
     pub message: String,
+    /// Interprocedural evidence chain, outermost hop first (empty for
+    /// the per-file rules; `--explain-chain` renders it hop per hop).
+    pub chain: Vec<ChainHop>,
 }
 
 impl Diagnostic {
@@ -78,95 +95,157 @@ struct AllowDirective {
     col: u32,
     /// Whether a ` -- reason` was supplied.
     has_reason: bool,
-    /// Whether it suppressed at least one diagnostic.
+    /// Whether it suppressed a diagnostic or absorbed a semantic fact.
     used: bool,
+}
+
+/// The workspace's allow directives, applied globally rather than per
+/// file: the semantic passes report findings whose cause is in one file
+/// and whose diagnostic lands in another, and they also *consult* allows
+/// mid-analysis (a `taint-nondet` allow on a function declaration is a
+/// sink annotation that stops propagation, not just a suppression). Both
+/// uses share one used-tracking ledger so `unused-allow` stays honest.
+pub struct Allows {
+    by_file: BTreeMap<PathBuf, Vec<AllowDirective>>,
+    bad: Vec<Diagnostic>,
+}
+
+impl Allows {
+    /// Parses every directive in `files`, recording `bad-allow` findings
+    /// for malformed ones and ones naming unknown rules.
+    pub fn collect<'a>(
+        files: impl IntoIterator<Item = &'a SourceFile>,
+        known_rule: impl Fn(&str) -> bool,
+    ) -> Self {
+        let mut by_file: BTreeMap<PathBuf, Vec<AllowDirective>> = BTreeMap::new();
+        let mut bad = Vec::new();
+        for file in files {
+            // Doc comments are excluded: a directive prefix appearing
+            // there is documentation *about* the syntax, not a directive.
+            for token in file.tokens.iter().filter(|t| t.is_comment() && !t.is_doc_comment()) {
+                let text = file.text_of(token);
+                let Some(at) = text.find("scan-lint:") else { continue };
+                match parse_directive(&text[at..]) {
+                    Ok((rules, has_reason)) => {
+                        for rule in &rules {
+                            if !known_rule(rule) {
+                                bad.push(Diagnostic {
+                                    rule: "bad-allow",
+                                    severity: Severity::Error,
+                                    path: file.path.clone(),
+                                    line: token.line,
+                                    col: token.col,
+                                    message: format!("allow names unknown rule `{rule}`"),
+                                    chain: Vec::new(),
+                                });
+                            }
+                        }
+                        by_file.entry(file.path.clone()).or_default().push(AllowDirective {
+                            rules,
+                            line: token.line,
+                            col: token.col,
+                            has_reason,
+                            used: false,
+                        });
+                    }
+                    Err(why) => bad.push(Diagnostic {
+                        rule: "bad-allow",
+                        severity: Severity::Error,
+                        path: file.path.clone(),
+                        line: token.line,
+                        col: token.col,
+                        message: why.to_string(),
+                        chain: Vec::new(),
+                    }),
+                }
+            }
+        }
+        Allows { by_file, bad }
+    }
+
+    /// Whether an allow for `rule` covers `line` of `path` (the
+    /// directive's own line or the line directly below it). A hit marks
+    /// the directive used — call this only for a fact the allow actually
+    /// excuses.
+    pub fn allowed(&mut self, path: &Path, line: u32, rule: &str) -> bool {
+        let Some(directives) = self.by_file.get_mut(path) else { return false };
+        for directive in directives.iter_mut() {
+            let in_range = line == directive.line || line == directive.line + 1;
+            if in_range && directive.rules.iter().any(|r| r == rule) {
+                directive.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every diagnostic an allow covers, marking those allows
+    /// used.
+    pub fn apply(&mut self, diags: &mut Vec<Diagnostic>) {
+        diags.retain(|d| {
+            let Some(directives) = self.by_file.get_mut(&d.path) else { return true };
+            for directive in directives.iter_mut() {
+                let in_range = d.line == directive.line || d.line == directive.line + 1;
+                if in_range && directive.rules.iter().any(|r| r == d.rule) {
+                    directive.used = true;
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    /// Emits the meta findings: `bad-allow` for collection-time errors
+    /// and reasonless directives, `unused-allow` for directives that
+    /// neither suppressed a diagnostic nor absorbed a semantic fact.
+    pub fn finish(self, diags: &mut Vec<Diagnostic>) {
+        diags.extend(self.bad);
+        for (path, directives) in &self.by_file {
+            for directive in directives {
+                if !directive.has_reason {
+                    diags.push(Diagnostic {
+                        rule: "bad-allow",
+                        severity: Severity::Error,
+                        path: path.clone(),
+                        line: directive.line,
+                        col: directive.col,
+                        message: "allow directive has no `-- <reason>`; every escape must say why"
+                            .to_string(),
+                        chain: Vec::new(),
+                    });
+                } else if !directive.used {
+                    diags.push(Diagnostic {
+                        rule: "unused-allow",
+                        severity: Severity::Warning,
+                        path: path.clone(),
+                        line: directive.line,
+                        col: directive.col,
+                        message: format!(
+                            "allow({}) suppressed nothing; remove it",
+                            directive.rules.join(", ")
+                        ),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Scans a file's comments for allow directives, applies them to `diags`
 /// (removing suppressed entries), and appends `bad-allow`/`unused-allow`
-/// findings. `known_rule` tells the parser which rule names exist.
+/// findings. `known_rule` tells the parser which rule names exist. This
+/// is the single-file path used by the golden-fixture harness; the
+/// workspace run uses [`Allows`] directly so cross-file semantic
+/// findings see every file's directives.
 pub fn apply_allows(
     file: &SourceFile,
     diags: &mut Vec<Diagnostic>,
     known_rule: impl Fn(&str) -> bool,
 ) {
-    let mut directives = Vec::new();
-    let mut bad = Vec::new();
-    // Doc comments are excluded: a directive prefix appearing there is
-    // documentation *about* the syntax, not a directive.
-    for token in file.tokens.iter().filter(|t| t.is_comment() && !t.is_doc_comment()) {
-        let text = file.text_of(token);
-        let Some(at) = text.find("scan-lint:") else { continue };
-        match parse_directive(&text[at..]) {
-            Ok((rules, has_reason)) => {
-                for rule in &rules {
-                    if !known_rule(rule) {
-                        bad.push(Diagnostic {
-                            rule: "bad-allow",
-                            severity: Severity::Error,
-                            path: file.path.clone(),
-                            line: token.line,
-                            col: token.col,
-                            message: format!("allow names unknown rule `{rule}`"),
-                        });
-                    }
-                }
-                directives.push(AllowDirective {
-                    rules,
-                    line: token.line,
-                    col: token.col,
-                    has_reason,
-                    used: false,
-                });
-            }
-            Err(why) => bad.push(Diagnostic {
-                rule: "bad-allow",
-                severity: Severity::Error,
-                path: file.path.clone(),
-                line: token.line,
-                col: token.col,
-                message: why.to_string(),
-            }),
-        }
-    }
-
-    diags.retain(|d| {
-        for directive in directives.iter_mut() {
-            let in_range = d.line == directive.line || d.line == directive.line + 1;
-            if in_range && directive.rules.iter().any(|r| r == d.rule) {
-                directive.used = true;
-                return false;
-            }
-        }
-        true
-    });
-
-    for directive in &directives {
-        if !directive.has_reason {
-            bad.push(Diagnostic {
-                rule: "bad-allow",
-                severity: Severity::Error,
-                path: file.path.clone(),
-                line: directive.line,
-                col: directive.col,
-                message: "allow directive has no `-- <reason>`; every escape must say why"
-                    .to_string(),
-            });
-        } else if !directive.used {
-            bad.push(Diagnostic {
-                rule: "unused-allow",
-                severity: Severity::Warning,
-                path: file.path.clone(),
-                line: directive.line,
-                col: directive.col,
-                message: format!(
-                    "allow({}) suppressed nothing; remove it",
-                    directive.rules.join(", ")
-                ),
-            });
-        }
-    }
-    diags.extend(bad);
+    let mut allows = Allows::collect(std::iter::once(file), known_rule);
+    allows.apply(diags);
+    allows.finish(diags);
 }
 
 /// Parses `scan-lint: allow(a, b) -- reason`, returning the rule list
@@ -207,6 +286,7 @@ mod tests {
             line,
             col: 1,
             message: "m".to_string(),
+            chain: Vec::new(),
         }
     }
 

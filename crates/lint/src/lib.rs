@@ -15,6 +15,14 @@
 //! 3. **Doc–code consistency** — `docs/TRACE_SCHEMA.md` must match the
 //!    `TraceEvent` enum and `docs/METRICS.md` must match the registered
 //!    metric families, in both directions.
+//! 4. **Semantic (interprocedural)** — on top of the lexer sits an item
+//!    parser ([`parse`]), a workspace symbol table ([`model`]) and a
+//!    name-resolution-approximate call graph ([`graph`]); three passes
+//!    walk it: nondeterminism *taint* flowing from any crate into
+//!    sim-facing code, *panic reachability* from the platform's event
+//!    loop and observer hot paths, and *dead telemetry* (trace variants,
+//!    metric handles and observers that can never produce data). Their
+//!    diagnostics carry the full call chain (`--explain-chain`).
 //!
 //! Findings can be silenced inline with
 //! `// scan-lint: allow(<rule>) -- <reason>`; the reason is mandatory
@@ -25,7 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod graph;
 pub mod lex;
+pub mod model;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod source;

@@ -13,7 +13,9 @@ pub fn totals(diags: &[Diagnostic]) -> (usize, usize) {
 }
 
 /// The human report: findings grouped by file, then a one-line summary.
-pub fn render_human(result: &RunResult) -> String {
+/// With `explain_chain`, each finding's evidence chain follows it, one
+/// hop per line, outermost first.
+pub fn render_human(result: &RunResult, explain_chain: bool) -> String {
     let mut out = String::new();
     let mut last_path = None;
     for diag in &result.diagnostics {
@@ -29,6 +31,12 @@ pub fn render_human(result: &RunResult) -> String {
             "  {}:{}: {} [{}] {}",
             diag.line, diag.col, diag.severity, diag.rule, diag.message
         );
+        if explain_chain {
+            for hop in &diag.chain {
+                let _ =
+                    writeln!(out, "      -> {} ({}:{})", hop.label, hop.path.display(), hop.line);
+            }
+        }
     }
     if !result.diagnostics.is_empty() {
         out.push('\n');
@@ -60,7 +68,8 @@ pub fn render_json(result: &RunResult) -> String {
         }
         let _ = write!(
             out,
-            "{{\"path\":{},\"line\":{},\"col\":{},\"severity\":{},\"rule\":{},\"message\":{}}}",
+            "{{\"path\":{},\"line\":{},\"col\":{},\"severity\":{},\"rule\":{},\"message\":{},\
+             \"chain\":[",
             json_str(&diag.path.display().to_string()),
             diag.line,
             diag.col,
@@ -68,6 +77,19 @@ pub fn render_json(result: &RunResult) -> String {
             json_str(diag.rule),
             json_str(&diag.message),
         );
+        for (j, hop) in diag.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"path\":{},\"line\":{}}}",
+                json_str(&hop.label),
+                json_str(&hop.path.display().to_string()),
+                hop.line,
+            );
+        }
+        out.push_str("]}");
     }
     out.push_str("]}\n");
     out
@@ -114,10 +136,11 @@ mod tests {
                 line: 3,
                 col: 7,
                 message: "m".to_string(),
+                chain: Vec::new(),
             }],
             files_scanned: 2,
         };
-        let text = render_human(&result);
+        let text = render_human(&result, false);
         assert!(text.contains("x.rs\n  3:7: warning [no-unwrap] m"), "{text}");
         assert!(text.contains("2 files scanned, 0 errors, 1 warning"), "{text}");
     }

@@ -224,6 +224,7 @@ pub fn check_trace_schema(
             line,
             col: 1,
             message,
+            chain: Vec::new(),
         });
     };
 
@@ -439,6 +440,7 @@ pub fn check_metrics_doc(
             col: 1,
             message: "no registered metrics found in library code; the collector is broken"
                 .to_string(),
+            chain: Vec::new(),
         });
         return diags;
     }
@@ -455,6 +457,7 @@ pub fn check_metrics_doc(
                     "metric `{name}` is registered here but missing from {}'s catalogue",
                     doc_path.display()
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -469,6 +472,7 @@ pub fn check_metrics_doc(
                 message: format!(
                     "documented metric `{name}` is not registered by any library code"
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -613,6 +617,7 @@ pub fn check_tracestore_doc(
             line,
             col: 1,
             message,
+            chain: Vec::new(),
         });
     };
 
@@ -834,6 +839,7 @@ pub fn check_spans_doc(
             line,
             col: 1,
             message,
+            chain: Vec::new(),
         });
     };
 

@@ -20,10 +20,6 @@ pub(super) fn check(file: &SourceFile, ctx: RuleCtx<'_>, diags: &mut Vec<Diagnos
     if !ctx.determinism_scope() {
         return;
     }
-    // The self-profiler is the one sanctioned wall-clock consumer: it
-    // measures the simulator, never feeds the simulation.
-    let is_prof = ctx.crate_name == "scan-sim" && file.path.ends_with("prof.rs");
-
     let code: Vec<(usize, &crate::lex::Token)> = file.code_tokens().collect();
     for (pos, (_, token)) in code.iter().enumerate() {
         if token.kind != TokenKind::Ident || file.in_test_code(token.start) {
@@ -42,7 +38,9 @@ pub(super) fn check(file: &SourceFile, ctx: RuleCtx<'_>, diags: &mut Vec<Diagnos
                 ),
             );
         }
-        if CLOCK_TYPES.contains(&text) && !is_prof {
+        // The self-profiler (sim::prof) is the one sanctioned wall-clock
+        // consumer; its sites carry explicit allow(wall-clock) reasons.
+        if CLOCK_TYPES.contains(&text) {
             report(
                 diags,
                 file,

@@ -10,6 +10,7 @@
 pub mod consistency;
 mod determinism;
 mod hygiene;
+pub mod semantic;
 
 use crate::diag::{Diagnostic, Severity};
 use crate::source::{FileClass, SourceFile};
@@ -105,6 +106,26 @@ pub const RULES: &[RuleInfo] = &[
                   declared in crates/spans/src/schema.rs, in both directions",
     },
     RuleInfo {
+        id: "taint-nondet",
+        severity: Severity::Error,
+        summary: "no call path from sim-facing library code into a function that (transitively) \
+                  uses HashMap/Instant/entropy/env in any crate; annotate a deterministic-by-\
+                  construction sink with allow(taint-nondet) and a reason",
+    },
+    RuleInfo {
+        id: "panic-path",
+        severity: Severity::Error,
+        summary: "no panic!/todo!/unimplemented!/bare unwrap() reachable along call edges from \
+                  Platform::run/handle_event, EventHandler::handle or Observer::on_event",
+    },
+    RuleInfo {
+        id: "dead-telemetry",
+        severity: Severity::Error,
+        summary: "every TraceEvent variant is constructed outside tests, every registered metric \
+                  handle reaches an update call, every Observer+Merge type is buildable by an \
+                  ObserverFactory",
+    },
+    RuleInfo {
         id: "bad-allow",
         severity: Severity::Error,
         summary: "scan-lint allow directives must be well-formed, name known rules, and carry a \
@@ -154,13 +175,21 @@ impl RuleCtx<'_> {
     }
 }
 
+/// Runs every per-file rule on one file *without* applying allow
+/// directives — the workspace run applies allows globally afterwards so
+/// one ledger covers both per-file and cross-file (semantic) findings.
+pub fn check_file_raw(file: &SourceFile, ctx: RuleCtx<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    determinism::check(file, ctx, &mut diags);
+    hygiene::check(file, ctx, &mut diags);
+    diags
+}
+
 /// Runs every per-file rule on one file, then applies the file's allow
 /// directives. Returned diagnostics are final for this file (modulo the
 /// workspace-level consistency rules, which report on other files).
 pub fn check_file(file: &SourceFile, ctx: RuleCtx<'_>) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    determinism::check(file, ctx, &mut diags);
-    hygiene::check(file, ctx, &mut diags);
+    let mut diags = check_file_raw(file, ctx);
     crate::diag::apply_allows(file, &mut diags, is_known_rule);
     diags.sort_by_key(|d| (d.line, d.col));
     diags
@@ -181,5 +210,6 @@ pub(crate) fn report(
         line: token.line,
         col: token.col,
         message,
+        chain: Vec::new(),
     });
 }

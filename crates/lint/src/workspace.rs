@@ -7,8 +7,10 @@
 //! follow those crates' conventions), as is `crates/lint/tests/fixtures`
 //! (deliberate violations used as test inputs).
 
-use crate::diag::Diagnostic;
-use crate::rules::{self, consistency, RuleCtx};
+use crate::diag::{Allows, Diagnostic};
+use crate::graph;
+use crate::model::SemanticModel;
+use crate::rules::{self, consistency, semantic, RuleCtx};
 use crate::source::{FileClass, SourceFile};
 use std::fs;
 use std::io;
@@ -111,13 +113,46 @@ impl Workspace {
         })
     }
 
-    /// Runs every rule over the loaded workspace.
+    /// Runs every rule over the loaded workspace: the per-file token
+    /// rules, the doc–code consistency rules and the semantic passes,
+    /// with allow directives applied once, globally, at the end — a
+    /// directive can excuse a per-file finding, a cross-file semantic
+    /// finding, or act as a mid-analysis taint sink, all from one
+    /// used-tracking ledger.
     pub fn run(&self) -> RunResult {
         let mut diagnostics = Vec::new();
+        let mut allows =
+            Allows::collect(self.files.iter().map(|wf| &wf.file), rules::is_known_rule);
         for wf in &self.files {
-            diagnostics.extend(rules::check_file(&wf.file, wf.ctx()));
+            diagnostics.extend(rules::check_file_raw(&wf.file, wf.ctx()));
         }
         diagnostics.extend(self.check_consistency());
+        let model = SemanticModel::build(self);
+        let call_graph = graph::build(&model);
+        semantic::check(&model, &call_graph, &mut allows, &mut diagnostics);
+        allows.apply(&mut diagnostics);
+        allows.finish(&mut diagnostics);
+        diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        RunResult { diagnostics, files_scanned: self.files.len() }
+    }
+
+    /// Runs *only* the semantic passes (model + call graph + the three
+    /// interprocedural rules) with global allow application. Used by the
+    /// semantic fixture harness and the `lint/semantic` benchmark; the
+    /// CLI always runs the full [`Workspace::run`].
+    pub fn run_semantic(&self) -> RunResult {
+        let mut diagnostics = Vec::new();
+        let mut allows =
+            Allows::collect(self.files.iter().map(|wf| &wf.file), rules::is_known_rule);
+        let model = SemanticModel::build(self);
+        let call_graph = graph::build(&model);
+        semantic::check(&model, &call_graph, &mut allows, &mut diagnostics);
+        allows.apply(&mut diagnostics);
+        // Meta findings are skipped here on purpose: a fixture workspace
+        // exercising one pass would otherwise drown in unused-allow noise
+        // from directives aimed at the other passes.
         diagnostics.sort_by(|a, b| {
             (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
         });
@@ -212,6 +247,7 @@ fn missing_doc(path: &str, rule: &'static str) -> Diagnostic {
         line: 1,
         col: 1,
         message: "reference file is missing; consistency cannot be checked".to_string(),
+        chain: Vec::new(),
     }
 }
 

@@ -1,0 +1,11 @@
+//! Fixture sim crate: constructs exactly one of the two trace variants,
+//! leaving `GhostStep` dead.
+
+pub mod trace;
+
+pub use trace::TraceEvent;
+
+/// Emits the live variant.
+pub fn emit() -> TraceEvent {
+    TraceEvent::JobSeen { job: 1 }
+}

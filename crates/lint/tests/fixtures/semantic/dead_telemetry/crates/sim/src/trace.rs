@@ -1,0 +1,15 @@
+//! Fixture trace schema: one live variant, one ghost.
+
+/// The fixture event vocabulary.
+pub enum TraceEvent {
+    /// Emitted by `emit` below — constructed, therefore live.
+    JobSeen {
+        /// Job id.
+        job: u64,
+    },
+    /// Declared but never constructed anywhere outside tests.
+    GhostStep {
+        /// Step index.
+        step: u32,
+    },
+}

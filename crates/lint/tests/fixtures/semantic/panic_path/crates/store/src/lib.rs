@@ -1,0 +1,30 @@
+//! Fixture: an observer hot path that can reach two panic sources. The
+//! cold-path panic in `validate` is *not* reachable from the root and
+//! must not be reported.
+
+/// The fixture event sink.
+pub struct Store {
+    rows: u64,
+}
+
+impl Observer for Store {
+    fn on_event(&mut self) {
+        self.write(1);
+    }
+}
+
+impl Store {
+    fn write(&mut self, n: u64) {
+        self.rows = self.rows.checked_add(n).unwrap();
+        if self.rows > 1_000_000 {
+            panic!("fixture: table overflow");
+        }
+    }
+
+    /// Cold path: only callable from tests, so unreachable from the root.
+    pub fn validate(&self) {
+        if self.rows == 0 {
+            panic!("fixture: empty store");
+        }
+    }
+}

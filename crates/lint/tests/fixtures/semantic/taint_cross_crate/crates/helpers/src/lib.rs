@@ -1,0 +1,17 @@
+//! Fixture: a clean-looking estimation helper whose value comes from
+//! the wall clock one call further down. Nothing here is sim-facing, so
+//! the per-file determinism rules stay silent — only the interprocedural
+//! taint pass can connect this to the scheduler.
+
+/// Estimated staging seconds for one transfer.
+pub fn estimate() -> f64 {
+    wall_seed() as f64 / 1e9
+}
+
+fn wall_seed() -> u64 {
+    let now = std::time::SystemTime::now();
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => u64::from(d.subsec_nanos()),
+        Err(_) => 0,
+    }
+}

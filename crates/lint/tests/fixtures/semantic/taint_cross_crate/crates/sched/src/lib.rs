@@ -1,0 +1,15 @@
+//! Fixture: a sim-facing scheduler that calls the helper crate. The
+//! helper looks clean at this call site; the taint pass must walk the
+//! call graph to find the `SystemTime` two hops away.
+
+use scan_helpers::estimate;
+
+/// The fixture scheduler.
+pub struct Scheduler;
+
+impl Scheduler {
+    /// Plans one transfer using the helper's estimate.
+    pub fn plan(&self) -> f64 {
+        estimate()
+    }
+}

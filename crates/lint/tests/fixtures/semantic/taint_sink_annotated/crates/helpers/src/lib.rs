@@ -1,0 +1,17 @@
+//! Fixture: the same helper as `taint_cross_crate`, but with a reasoned
+//! sink annotation on `estimate` — the taint pass absorbs the flow
+//! there and the workspace scans clean.
+
+/// Estimated staging seconds for one transfer.
+// scan-lint: allow(taint-nondet) -- fixture sink: the estimate is advisory, never ordering.
+pub fn estimate() -> f64 {
+    wall_seed() as f64 / 1e9
+}
+
+fn wall_seed() -> u64 {
+    let now = std::time::SystemTime::now();
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => u64::from(d.subsec_nanos()),
+        Err(_) => 0,
+    }
+}

@@ -22,6 +22,7 @@
 use std::cell::RefCell;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
+// scan-lint: allow(wall-clock) -- the profiler measures the simulator, never feeds it.
 use std::time::Instant;
 
 use crate::trace::Merge;
@@ -106,6 +107,7 @@ pub fn reset_thread() {
 /// An open profiling span; closing (dropping) it adds the elapsed wall
 /// time to its call-tree node. Inert unless [`enable`] was called.
 pub struct Scope {
+    // scan-lint: allow(wall-clock) -- the profiler measures the simulator, never feeds it.
     start: Option<Instant>,
 }
 
@@ -121,6 +123,7 @@ impl Scope {
             let id = p.child(name);
             p.current = id;
         });
+        // scan-lint: allow(wall-clock) -- the profiler measures the simulator, never feeds it.
         Scope { start: Some(Instant::now()) }
     }
 }

@@ -114,7 +114,7 @@ impl Column {
     pub fn push_u32(&mut self, v: u32) {
         match self {
             Column::U32(vec) => vec.push(v),
-            // scan-lint: allow(no-panic) -- documented `# Panics` contract: type confusion is a bug.
+            // scan-lint: allow(no-panic, panic-path) -- `# Panics` contract: type confusion is a bug.
             _ => panic!("push_u32 on a non-u32 column"),
         }
     }
@@ -126,7 +126,7 @@ impl Column {
     pub fn push_u64(&mut self, v: u64) {
         match self {
             Column::U64(vec) => vec.push(v),
-            // scan-lint: allow(no-panic) -- documented `# Panics` contract: type confusion is a bug.
+            // scan-lint: allow(no-panic, panic-path) -- `# Panics` contract: type confusion is a bug.
             _ => panic!("push_u64 on a non-u64 column"),
         }
     }
@@ -138,7 +138,7 @@ impl Column {
     pub fn push_f64(&mut self, v: f64) {
         match self {
             Column::F64(vec) => vec.push(v),
-            // scan-lint: allow(no-panic) -- documented `# Panics` contract: type confusion is a bug.
+            // scan-lint: allow(no-panic, panic-path) -- `# Panics` contract: type confusion is a bug.
             _ => panic!("push_f64 on a non-f64 column"),
         }
     }
@@ -150,7 +150,7 @@ impl Column {
     pub fn push_label(&mut self, label: &str) {
         match self {
             Column::Dict { codes, dict } => codes.push(dict.intern(label)),
-            // scan-lint: allow(no-panic) -- documented `# Panics` contract: type confusion is a bug.
+            // scan-lint: allow(no-panic, panic-path) -- `# Panics` contract: type confusion is a bug.
             _ => panic!("push_label on a non-dict column"),
         }
     }
